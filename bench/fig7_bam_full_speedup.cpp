@@ -1,0 +1,67 @@
+// Figure 7 reproduction: full-conversion speedup of the BAM format
+// converter.
+//
+// Paper (§V-C): a sorted 117 GB BAM dataset, preprocessed once into
+// BAMX/BAIX, converted into BED, BEDGRAPH and FASTA on 1..128 cores.
+// Reported shape: scales well, credited to (1) the perfectly-aligned
+// padded BAMX records giving a regular I/O pattern and (2) fully
+// independent per-rank conversion tasks.
+//
+// Method: calibrate the BAMX decode + format costs from real runs, then
+// replay the 117 GB-scale conversion phase (preprocessing excluded, as in
+// the figure) through the cluster simulator.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/costmodel.h"
+#include "util/cli.h"
+
+using namespace ngsx;
+using cluster::ConversionJob;
+using cluster::IoPattern;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const uint64_t pairs = static_cast<uint64_t>(args.get_int("pairs", 15000));
+
+  bench::print_header("Figure 7: BAM format converter full-conversion speedup");
+  auto costs = cluster::calibrate_conversion(pairs, /*seed=*/7);
+  cluster::ClusterSim sim(bench::paper_cluster());
+
+  // 117 GB of BAM expands into records; the conversion phase reads the
+  // BAMX form (fixed stride, larger but regular).
+  const uint64_t records = static_cast<uint64_t>(
+      bench::kFig7BamBytes / costs.bam_bytes_per_record);
+  const double bamx_bytes = records * costs.bamx_bytes_per_record;
+  const double cpu_factor = bench::opteron_cpu_factor(
+      costs,
+      costs.sam_parse + costs.format_cpu.at(core::TargetFormat::kFastq));
+  std::printf("scaled dataset: 117 GB BAM = %.1fM records; BAMX form %.0f GB"
+              " (stride %.0f B)\n",
+              records / 1e6, bamx_bytes / (1ull << 30),
+              costs.bamx_bytes_per_record);
+
+  const std::vector<int> cores = {1, 2, 4, 8, 16, 32, 64, 128};
+  for (auto format : {core::TargetFormat::kBed, core::TargetFormat::kBedgraph,
+                      core::TargetFormat::kFasta}) {
+    ConversionJob job;
+    job.records = records;
+    job.input_bytes = bamx_bytes;
+    job.cpu_per_record =
+        cpu_factor * (costs.bamx_decode + costs.format_cpu.at(format));
+    job.out_bytes_per_record = costs.out_bytes_per_record.at(format);
+    job.read_pattern = IoPattern::kRegular;  // the BAMX layout-regularity win
+    auto series = cluster::speedup_series(sim, cores, [&](int p) {
+      return cluster::conversion_work(job, p);
+    });
+    bench::print_series("BAM(X) -> " +
+                            std::string(core::target_format_name(format)),
+                        series);
+  }
+
+  std::printf(
+      "\npaper shape: near-linear scaling to 128 cores for all three\n"
+      "targets; conversion tasks are independent and BAMX reads regular.\n");
+  return 0;
+}

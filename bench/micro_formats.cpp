@@ -1,0 +1,208 @@
+// Micro-benchmarks (google-benchmark) for the format substrate's hot
+// loops: BGZF block codec, SAM text codec, BAM record codec, BAMX record
+// codec, and the target-format serializers. These are the per-record costs
+// the figure harnesses calibrate; tracking them here catches regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "formats/bam.h"
+#include "formats/bamx.h"
+#include "formats/bgzf.h"
+#include "formats/textfmt.h"
+#include "simdata/readsim.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ngsx;
+using sam::AlignmentRecord;
+
+/// Shared fixture data (built once).
+struct Fixture {
+  simdata::ReferenceGenome genome = simdata::ReferenceGenome::simulate(
+      simdata::mouse_like_references(500000), 123);
+  std::vector<AlignmentRecord> records;
+  std::vector<std::string> sam_lines;
+  std::vector<std::string> bam_bodies;
+  bamx::BamxLayout layout;
+  std::vector<std::string> bamx_bodies;
+
+  Fixture() {
+    simdata::ReadSimConfig cfg;
+    cfg.seed = 123;
+    records = simdata::simulate_alignments(genome, 2000, cfg);
+    for (const auto& rec : records) {
+      std::string line;
+      sam::format_record(rec, genome.header(), line);
+      sam_lines.push_back(std::move(line));
+      std::string bam;
+      bam::encode_record(rec, bam);
+      bam_bodies.push_back(bam.substr(4));
+      layout.accommodate(rec);
+    }
+    for (const auto& rec : records) {
+      std::string body;
+      bamx::encode_record(rec, layout, body);
+      bamx_bodies.push_back(std::move(body));
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_SamParse(benchmark::State& state) {
+  Fixture& f = fixture();
+  AlignmentRecord rec;
+  size_t i = 0;
+  for (auto _ : state) {
+    sam::parse_record(f.sam_lines[i % f.sam_lines.size()],
+                      f.genome.header(), rec);
+    benchmark::DoNotOptimize(rec);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SamParse);
+
+void BM_SamFormat(benchmark::State& state) {
+  Fixture& f = fixture();
+  std::string out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    sam::format_record(f.records[i % f.records.size()], f.genome.header(),
+                       out);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SamFormat);
+
+void BM_BamEncode(benchmark::State& state) {
+  Fixture& f = fixture();
+  std::string out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    bam::encode_record(f.records[i % f.records.size()], out);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BamEncode);
+
+void BM_BamDecode(benchmark::State& state) {
+  Fixture& f = fixture();
+  AlignmentRecord rec;
+  size_t i = 0;
+  for (auto _ : state) {
+    bam::decode_record(f.bam_bodies[i % f.bam_bodies.size()], rec);
+    benchmark::DoNotOptimize(rec);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BamDecode);
+
+void BM_BamxEncode(benchmark::State& state) {
+  Fixture& f = fixture();
+  std::string out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    bamx::encode_record(f.records[i % f.records.size()], f.layout, out);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BamxEncode);
+
+void BM_BamxDecode(benchmark::State& state) {
+  Fixture& f = fixture();
+  AlignmentRecord rec;
+  size_t i = 0;
+  for (auto _ : state) {
+    bamx::decode_record(f.bamx_bodies[i % f.bamx_bodies.size()], f.layout,
+                        rec);
+    benchmark::DoNotOptimize(rec);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BamxDecode);
+
+void BM_BgzfCompress(benchmark::State& state) {
+  Rng rng(9);
+  std::string input(static_cast<size_t>(state.range(0)), '\0');
+  for (auto& c : input) {
+    c = "ACGT"[rng.below(4)];
+  }
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    bgzf::compress_block(input, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BgzfCompress)->Arg(4096)->Arg(65000);
+
+void BM_BgzfDecompress(benchmark::State& state) {
+  Rng rng(9);
+  std::string input(static_cast<size_t>(state.range(0)), '\0');
+  for (auto& c : input) {
+    c = "ACGT"[rng.below(4)];
+  }
+  std::string block;
+  bgzf::compress_block(input, block);
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    bgzf::decompress_block(block, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BgzfDecompress)->Arg(4096)->Arg(65000);
+
+template <bool (*Fn)(const AlignmentRecord&, const sam::SamHeader&,
+                     std::string&)>
+void BM_TextTarget(benchmark::State& state) {
+  Fixture& f = fixture();
+  std::string out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    Fn(f.records[i % f.records.size()], f.genome.header(), out);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TextTarget<&textfmt::append_bed>)->Name("BM_FormatBed");
+BENCHMARK(BM_TextTarget<&textfmt::append_bedgraph>)->Name("BM_FormatBedgraph");
+BENCHMARK(BM_TextTarget<&textfmt::append_fasta>)->Name("BM_FormatFasta");
+BENCHMARK(BM_TextTarget<&textfmt::append_fastq>)->Name("BM_FormatFastq");
+BENCHMARK(BM_TextTarget<&textfmt::append_json>)->Name("BM_FormatJson");
+BENCHMARK(BM_TextTarget<&textfmt::append_yaml>)->Name("BM_FormatYaml");
+
+void BM_Reg2Bin(benchmark::State& state) {
+  int32_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bam::reg2bin(pos, pos + 90));
+    pos = (pos + 9973) & ((1 << 28) - 1);
+  }
+}
+BENCHMARK(BM_Reg2Bin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Micro-benchmarks for the minimpi runtime: point-to-point latency and
+// bandwidth, barrier and collective costs vs rank count. These are the
+// communication constants behind the cluster model's collective_hop
+// parameter.
+
+#include <benchmark/benchmark.h>
+
+#include "mpi/minimpi.h"
+
+namespace {
+
+using namespace ngsx;
+
+void BM_PingPong(benchmark::State& state) {
+  const size_t payload_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    mpi::run(2, [&](mpi::Comm& comm) {
+      std::string payload(payload_size, 'x');
+      const int rounds = 50;
+      for (int i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 0, payload);
+          benchmark::DoNotOptimize(comm.recv(1, 1));
+        } else {
+          benchmark::DoNotOptimize(comm.recv(0, 0));
+          comm.send(0, 1, payload);
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100 *
+                          static_cast<int64_t>(payload_size));
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(65536)->Arg(1 << 20);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::run(ranks, [](mpi::Comm& comm) {
+      for (int i = 0; i < 100; ++i) {
+        comm.barrier();
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_AllreduceSum(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::run(ranks, [](mpi::Comm& comm) {
+      double acc = comm.rank();
+      for (int i = 0; i < 50; ++i) {
+        acc = comm.allreduce_sum(acc * 0.5);
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 50);
+}
+BENCHMARK(BM_AllreduceSum)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_GatherPayload(benchmark::State& state) {
+  const int ranks = 8;
+  const size_t payload_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    mpi::run(ranks, [&](mpi::Comm& comm) {
+      std::string local(payload_size, static_cast<char>('a' + comm.rank()));
+      for (int i = 0; i < 20; ++i) {
+        auto parts = comm.gather(0, local);
+        benchmark::DoNotOptimize(parts);
+        comm.barrier();
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 20 *
+                          ranks * static_cast<int64_t>(payload_size));
+}
+BENCHMARK(BM_GatherPayload)->Arg(64)->Arg(65536);
+
+void BM_WorldSpawn(benchmark::State& state) {
+  // Fixed cost of run(): thread spawn + join for N ranks.
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::run(ranks, [](mpi::Comm&) {});
+  }
+}
+BENCHMARK(BM_WorldSpawn)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

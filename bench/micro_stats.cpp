@@ -1,0 +1,106 @@
+// Micro-benchmarks for the statistics kernels: NL-means window cost
+// scaling, FDR per-bin cost scaling in B, histogram accumulation, and
+// region calling — the measured constants the figure replays are built
+// from.
+
+#include <benchmark/benchmark.h>
+
+#include "simdata/histsim.h"
+#include "simdata/readsim.h"
+#include "stats/fdr.h"
+#include "stats/histogram.h"
+#include "stats/nlmeans.h"
+#include "stats/peaks.h"
+
+namespace {
+
+using namespace ngsx;
+
+const std::vector<double>& signal() {
+  static const std::vector<double> data = [] {
+    simdata::HistSimConfig cfg;
+    cfg.seed = 2024;
+    return simdata::simulate_histogram(20000, cfg);
+  }();
+  return data;
+}
+
+void BM_NlMeansWindow(benchmark::State& state) {
+  stats::NlMeansParams params;
+  params.r = static_cast<int>(state.range(0));
+  params.l = 15;
+  const auto& data = signal();
+  // Denoise a slice so iterations stay ~ms even at r=320.
+  std::vector<double> out(500);
+  for (auto _ : state) {
+    stats::nlmeans_range(data, 1000, 1500, params, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 500);
+}
+BENCHMARK(BM_NlMeansWindow)->Arg(20)->Arg(80)->Arg(320);
+
+void BM_FdrFused(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  simdata::HistSimConfig cfg;
+  cfg.seed = 7;
+  auto hist = simdata::simulate_histogram(2000, cfg);
+  auto sims = simdata::simulate_null_batch(2000, static_cast<size_t>(b),
+                                           cfg.background_rate, 7);
+  for (auto _ : state) {
+    auto res = stats::fdr_fused(hist, sims, b / 20);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_FdrFused)->Arg(10)->Arg(40)->Arg(80);
+
+void BM_FdrTwoPass(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  simdata::HistSimConfig cfg;
+  cfg.seed = 7;
+  auto hist = simdata::simulate_histogram(2000, cfg);
+  auto sims = simdata::simulate_null_batch(2000, static_cast<size_t>(b),
+                                           cfg.background_rate, 7);
+  for (auto _ : state) {
+    auto res = stats::fdr_parallel_two_pass(hist, sims, b / 20, 1);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_FdrTwoPass)->Arg(40)->Arg(80);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  auto genome = simdata::ReferenceGenome::simulate(
+      simdata::mouse_like_references(500000), 3);
+  simdata::ReadSimConfig cfg;
+  cfg.seed = 3;
+  auto records = simdata::simulate_alignments(genome, 2000, cfg);
+  stats::CoverageHistogram hist(genome.header(), 25);
+  size_t i = 0;
+  for (auto _ : state) {
+    hist.add(records[i % records.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_CallRegions(benchmark::State& state) {
+  simdata::HistSimConfig cfg;
+  cfg.seed = 11;
+  cfg.peak_density = 0.002;
+  auto hist = simdata::simulate_histogram(10000, cfg);
+  auto sims =
+      simdata::simulate_null_batch(10000, 12, cfg.background_rate, 11);
+  for (auto _ : state) {
+    auto regions = stats::call_enriched_regions(hist, sims, 1, 3, 1);
+    benchmark::DoNotOptimize(regions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_CallRegions);
+
+}  // namespace
+
+BENCHMARK_MAIN();

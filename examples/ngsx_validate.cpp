@@ -1,0 +1,58 @@
+// ngsx_validate: command-line SAM/BAM validator (the ValidateSamFile role
+// in a Picard-style toolchain). Also runs `ngsx_sort`-style checks:
+// --require-sorted fails on coordinate-order violations.
+//
+// Usage:
+//   ngsx_validate --in file.{sam,bam} [--max-issues N] [--require-sorted]
+//
+// Exit status: 0 clean, 1 errors found, 2 usage / unreadable input.
+
+#include <cstdio>
+
+#include "formats/validate.h"
+#include "util/cli.h"
+
+using namespace ngsx;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --in FILE.{sam,bam} [--max-issues N]"
+                 " [--require-sorted]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    validate::Options options;
+    options.max_recorded_issues =
+        static_cast<size_t>(args.get_int("max-issues", 50));
+    options.check_sort_order = args.get_bool("require-sorted", false);
+    validate::Report report = validate::validate_file(in, options);
+
+    for (const auto& issue : report.issues) {
+      std::printf("%s\trecord %llu\t%s\t%s\n",
+                  issue.severity == validate::Severity::kError ? "ERROR"
+                                                               : "WARNING",
+                  static_cast<unsigned long long>(issue.record_index),
+                  issue.rule.c_str(), issue.message.c_str());
+    }
+    if (report.error_count + report.warning_count >
+        report.issues.size()) {
+      std::printf("... and %llu more findings (raise --max-issues)\n",
+                  static_cast<unsigned long long>(
+                      report.error_count + report.warning_count -
+                      report.issues.size()));
+    }
+    std::printf("%llu records checked: %llu errors, %llu warnings -> %s\n",
+                static_cast<unsigned long long>(report.records_checked),
+                static_cast<unsigned long long>(report.error_count),
+                static_cast<unsigned long long>(report.warning_count),
+                report.ok() ? "OK" : "INVALID");
+    return report.ok() ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

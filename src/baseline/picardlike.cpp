@@ -1,0 +1,295 @@
+#include "baseline/picardlike.h"
+
+#include <algorithm>
+
+#include "core/target.h"
+#include "util/strutil.h"
+
+namespace ngsx::baseline {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+// ---------------------------------------------------------- PicardRecord
+
+void PicardRecord::validate() const {
+  // The SAM-JDK validates records eagerly; these checks mirror its
+  // SAMRecord.isValid() essentials.
+  if (read_name.empty()) {
+    throw FormatError("Picard validation: empty read name");
+  }
+  if (read_name.size() > 254) {
+    throw FormatError("Picard validation: read name too long");
+  }
+  if (flags < 0 || flags > 0xFFFF) {
+    throw FormatError("Picard validation: FLAG out of range");
+  }
+  if (alignment_start < 0) {
+    throw FormatError("Picard validation: negative alignment start");
+  }
+  if (mapping_quality < 0 || mapping_quality > 255) {
+    throw FormatError("Picard validation: MAPQ out of range");
+  }
+  if (!read_bases.empty() && read_bases != "*" && !base_qualities.empty() &&
+      base_qualities != "*" && read_bases.size() != base_qualities.size()) {
+    throw FormatError("Picard validation: SEQ/QUAL length mismatch");
+  }
+  if (!read_unmapped() && alignment_start > 0 && cigar_string != "*") {
+    // CIGAR must be syntactically valid; parse (and discard) to check.
+    (void)sam::parse_cigar(cigar_string);
+  }
+}
+
+std::unique_ptr<PicardRecord> parse_picard_record(std::string_view line) {
+  auto rec = std::make_unique<PicardRecord>();
+  std::vector<std::string_view> fields = strutil::split(line, '\t');
+  if (fields.size() < 11) {
+    throw FormatError("SAM line has fewer than 11 fields");
+  }
+  rec->read_name = std::string(fields[0]);
+  rec->flags = strutil::parse_int<int>(fields[1], "FLAG");
+  rec->reference_name = std::string(fields[2]);
+  rec->alignment_start = strutil::parse_int<int>(fields[3], "POS");
+  rec->mapping_quality = strutil::parse_int<int>(fields[4], "MAPQ");
+  rec->cigar_string = std::string(fields[5]);
+  rec->mate_reference_name = std::string(fields[6]);
+  rec->mate_alignment_start = strutil::parse_int<int>(fields[7], "PNEXT");
+  rec->inferred_insert_size = strutil::parse_int<int>(fields[8], "TLEN");
+  rec->read_bases = std::string(fields[9]);
+  rec->base_qualities = std::string(fields[10]);
+  for (size_t i = 11; i < fields.size(); ++i) {
+    std::string_view f = fields[i];
+    if (f.size() < 5 || f[2] != ':' || f[4] != ':') {
+      throw FormatError("malformed attribute '" + std::string(f) + "'");
+    }
+    rec->attributes[std::string(f.substr(0, 2))] = std::string(f.substr(3));
+  }
+  rec->validate();
+  return rec;
+}
+
+std::unique_ptr<PicardRecord> picard_record_from_bam(
+    const AlignmentRecord& rec, const SamHeader& header) {
+  auto out = std::make_unique<PicardRecord>();
+  out->read_name = rec.qname;
+  out->flags = rec.flag;
+  out->reference_name = std::string(header.ref_name(rec.ref_id));
+  out->alignment_start = rec.pos + 1;
+  out->mapping_quality = rec.mapq;
+  sam::format_cigar(rec.cigar, out->cigar_string);
+  if (rec.mate_ref_id == -1) {
+    out->mate_reference_name = "*";
+  } else if (rec.mate_ref_id == rec.ref_id) {
+    out->mate_reference_name = "=";
+  } else {
+    out->mate_reference_name = std::string(header.ref_name(rec.mate_ref_id));
+  }
+  out->mate_alignment_start = rec.mate_pos + 1;
+  out->inferred_insert_size = rec.tlen;
+  out->read_bases = rec.seq.empty() ? "*" : rec.seq;
+  out->base_qualities = rec.qual.empty() ? "*" : rec.qual;
+  for (const auto& aux : rec.tags) {
+    std::string text;
+    sam::format_aux(aux, text);
+    out->attributes[text.substr(0, 2)] = text.substr(3);
+  }
+  out->validate();
+  return out;
+}
+
+// ------------------------------------------------- Picard-style operations
+
+uint64_t picard_sam_to_fastq(const std::string& sam_path,
+                             const std::string& fastq_path) {
+  // Stream the file line-by-line, boxing each record, exactly as
+  // SamToFastq walks a SamReader.
+  std::string data = read_file(sam_path);
+  OutputFile out(fastq_path);
+  std::string block;
+  uint64_t converted = 0;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t nl = data.find('\n', pos);
+    size_t end = nl == std::string::npos ? data.size() : nl;
+    std::string_view line(data.data() + pos, end - pos);
+    pos = nl == std::string::npos ? data.size() : nl + 1;
+    if (line.empty() || line[0] == '@') {
+      continue;
+    }
+    std::unique_ptr<PicardRecord> rec = parse_picard_record(line);
+    if (rec->read_bases.empty() || rec->read_bases == "*") {
+      continue;
+    }
+    block.clear();
+    block += '@';
+    block += rec->read_name;
+    if (rec->read_paired()) {
+      block += rec->second_of_pair() ? "/2" : "/1";
+    }
+    block += '\n';
+    std::string bases = rec->read_bases;
+    std::string quals =
+        rec->base_qualities == "*" ? std::string() : rec->base_qualities;
+    if (rec->read_negative_strand()) {
+      bases = sam::reverse_complement(bases);
+      std::reverse(quals.begin(), quals.end());
+    }
+    block += bases;
+    block += "\n+\n";
+    if (quals.empty()) {
+      block.append(bases.size(), 'B');
+    } else {
+      block += quals;
+    }
+    block += '\n';
+    out.write(block);
+    ++converted;
+  }
+  out.close();
+  return converted;
+}
+
+uint64_t picard_bam_to_sam(const std::string& bam_path,
+                           const std::string& sam_path) {
+  bam::BamFileReader reader(bam_path);
+  OutputFile out(sam_path);
+  out.write(reader.header().text());
+  AlignmentRecord rec;
+  std::string line;
+  uint64_t converted = 0;
+  while (reader.next(rec)) {
+    // SAM-JDK path: binary record -> boxed SAMRecord -> text line.
+    std::unique_ptr<PicardRecord> boxed =
+        picard_record_from_bam(rec, reader.header());
+    line.clear();
+    line += boxed->read_name;
+    line += '\t';
+    strutil::append_int(line, boxed->flags);
+    line += '\t';
+    line += boxed->reference_name;
+    line += '\t';
+    strutil::append_int(line, boxed->alignment_start);
+    line += '\t';
+    strutil::append_int(line, boxed->mapping_quality);
+    line += '\t';
+    line += boxed->cigar_string;
+    line += '\t';
+    line += boxed->mate_reference_name;
+    line += '\t';
+    strutil::append_int(line, boxed->mate_alignment_start);
+    line += '\t';
+    strutil::append_int(line, boxed->inferred_insert_size);
+    line += '\t';
+    line += boxed->read_bases;
+    line += '\t';
+    line += boxed->base_qualities;
+    for (const auto& [tag, value] : boxed->attributes) {
+      line += '\t';
+      line += tag;
+      line += ':';
+      line += value;
+    }
+    line += '\n';
+    out.write(line);
+    ++converted;
+  }
+  out.close();
+  return converted;
+}
+
+// --------------------------------------------------- BamTools-style path
+
+BamToolsStyleReader::BamToolsStyleReader(const std::string& bam_path)
+    : reader_(bam_path) {}
+
+bool BamToolsStyleReader::GetNextAlignment(BamToolsAlignment& out) {
+  if (!reader_.next(scratch_)) {
+    return false;
+  }
+  // BamTools eagerly expands the record into its memory object.
+  out.Name = scratch_.qname;
+  out.RefID = scratch_.ref_id;
+  out.Position = scratch_.pos;
+  out.AlignmentFlag = scratch_.flag;
+  out.MapQuality = scratch_.mapq;
+  out.CigarData.clear();
+  sam::format_cigar(scratch_.cigar, out.CigarData);
+  out.MateRefID = scratch_.mate_ref_id;
+  out.MatePosition = scratch_.mate_pos;
+  out.InsertSize = scratch_.tlen;
+  out.QueryBases = scratch_.seq;
+  out.Qualities = scratch_.qual;
+  // Tag data kept as the raw blob, as BamTools does: re-encode the parsed
+  // tags back to the BAM aux wire format.
+  out.TagData.clear();
+  if (!scratch_.tags.empty()) {
+    AlignmentRecord aux_only;
+    aux_only.qname = "x";  // minimal valid record framing the aux blob
+    aux_only.tags = scratch_.tags;
+    std::string full;
+    bam::encode_record(aux_only, full);
+    // Aux bytes are the suffix after the fixed part + name + nul.
+    size_t fixed = 4 + 32 + aux_only.qname.size() + 1;
+    out.TagData = full.substr(fixed);
+  }
+  return true;
+}
+
+AlignmentRecord adapt(const BamToolsAlignment& a, const SamHeader& header) {
+  (void)header;
+  AlignmentRecord rec;
+  rec.qname = a.Name;
+  rec.flag = a.AlignmentFlag;
+  rec.ref_id = a.RefID;
+  rec.pos = a.Position;
+  rec.mapq = static_cast<uint8_t>(a.MapQuality);
+  rec.cigar = sam::parse_cigar(a.CigarData.empty() ? "*" : a.CigarData);
+  rec.mate_ref_id = a.MateRefID;
+  rec.mate_pos = a.MatePosition;
+  rec.tlen = a.InsertSize;
+  rec.seq = a.QueryBases;
+  rec.qual = a.Qualities;
+  // Re-scan the raw tag blob into typed aux fields: the adaptation cost.
+  if (!a.TagData.empty()) {
+    AlignmentRecord shim;
+    std::string body;
+    // Frame the blob as a minimal BAM record body so the BAM aux parser
+    // can be reused verbatim.
+    body.reserve(32 + 2 + a.TagData.size());
+    binio::put_le<int32_t>(body, -1);           // ref_id
+    binio::put_le<int32_t>(body, -1);           // pos
+    binio::put_le<uint32_t>(body, 4680u << 16 | 2u);  // bin/mapq/l_name=2
+    binio::put_le<uint32_t>(body, 0);           // flag/n_cigar
+    binio::put_le<int32_t>(body, 0);            // l_seq
+    binio::put_le<int32_t>(body, -1);           // mate ref
+    binio::put_le<int32_t>(body, -1);           // mate pos
+    binio::put_le<int32_t>(body, 0);            // tlen
+    body += 'x';
+    body += '\0';
+    body += a.TagData;
+    bam::decode_record(body, shim);
+    rec.tags = std::move(shim.tags);
+  }
+  return rec;
+}
+
+uint64_t convert_bam_via_bamtools(const std::string& bam_path,
+                                  const std::string& out_path,
+                                  std::string_view target_format) {
+  BamToolsStyleReader reader(bam_path);
+  auto writer = core::make_target_writer(
+      core::parse_target_format(target_format), out_path, reader.header(),
+      /*include_header=*/true);
+  BamToolsAlignment alignment;
+  uint64_t converted = 0;
+  while (reader.GetNextAlignment(alignment)) {
+    AlignmentRecord rec = adapt(alignment, reader.header());
+    if (writer->write(rec)) {
+      ++converted;
+    }
+  }
+  writer->close();
+  return converted;
+}
+
+}  // namespace ngsx::baseline

@@ -1,0 +1,140 @@
+#include "cluster/clustersim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ngsx::cluster {
+
+ClusterSim::ClusterSim(ClusterConfig config) : config_(config) {
+  NGSX_CHECK_MSG(config_.nodes >= 1 && config_.cores_per_node >= 1,
+                 "cluster must have at least one core");
+  NGSX_CHECK_MSG(config_.node_io_bw > 0 && config_.shared_fs_bw > 0,
+                 "bandwidths must be positive");
+}
+
+double ClusterSim::collective_cost(int ranks) const {
+  if (ranks <= 1) {
+    return 0.0;
+  }
+  int hops = 0;
+  for (int span = 1; span < ranks; span *= 2) {
+    ++hops;
+  }
+  return hops * config_.collective_hop;
+}
+
+SimResult ClusterSim::run(const std::vector<RankWork>& work) const {
+  const int ranks = static_cast<int>(work.size());
+  NGSX_CHECK_MSG(ranks >= 1, "need at least one rank");
+  NGSX_CHECK_MSG(ranks <= config_.total_cores(),
+                 "more ranks than cores in the cluster");
+
+  struct RankState {
+    size_t phase = 0;       // index of current phase
+    double remaining = 0;   // seconds (compute) or bytes (I/O) left
+    bool done = false;
+  };
+  std::vector<RankState> state(static_cast<size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const auto& phases = work[static_cast<size_t>(r)].phases;
+    if (phases.empty()) {
+      state[static_cast<size_t>(r)].done = true;
+    } else {
+      state[static_cast<size_t>(r)].remaining = phases[0].amount;
+      // Zero-amount phases complete immediately; skip them up front.
+    }
+  }
+
+  auto skip_empty = [&](int r) {
+    auto& st = state[static_cast<size_t>(r)];
+    const auto& phases = work[static_cast<size_t>(r)].phases;
+    while (!st.done && st.remaining <= 0) {
+      ++st.phase;
+      if (st.phase >= phases.size()) {
+        st.done = true;
+      } else {
+        st.remaining = phases[st.phase].amount;
+      }
+    }
+  };
+  for (int r = 0; r < ranks; ++r) {
+    skip_empty(r);
+  }
+
+  double now = 0.0;
+  double io_busy_time = 0.0;  // time any I/O was in progress (aggregate)
+
+  while (true) {
+    // Count active I/O ranks per node and cluster-wide.
+    std::vector<int> node_io(static_cast<size_t>(config_.nodes), 0);
+    int total_io = 0;
+    bool any_active = false;
+    for (int r = 0; r < ranks; ++r) {
+      const auto& st = state[static_cast<size_t>(r)];
+      if (st.done) {
+        continue;
+      }
+      any_active = true;
+      const Phase& ph = work[static_cast<size_t>(r)].phases[st.phase];
+      if (ph.kind != Phase::Kind::kCompute) {
+        ++node_io[static_cast<size_t>(node_of(r))];
+        ++total_io;
+      }
+    }
+    if (!any_active) {
+      break;
+    }
+
+    // Per-rank progress rates under fair sharing.
+    double dt = std::numeric_limits<double>::infinity();
+    std::vector<double> rate(static_cast<size_t>(ranks), 0.0);
+    for (int r = 0; r < ranks; ++r) {
+      const auto& st = state[static_cast<size_t>(r)];
+      if (st.done) {
+        continue;
+      }
+      const Phase& ph = work[static_cast<size_t>(r)].phases[st.phase];
+      double rt;
+      if (ph.kind == Phase::Kind::kCompute) {
+        rt = 1.0;  // dedicated core
+      } else {
+        double node_share =
+            config_.node_io_bw /
+            node_io[static_cast<size_t>(node_of(r))];
+        double fs_share = config_.shared_fs_bw / total_io;
+        rt = std::min(node_share, fs_share);
+        if (ph.pattern == IoPattern::kIrregular) {
+          rt *= config_.irregular_efficiency;
+        }
+      }
+      rate[static_cast<size_t>(r)] = rt;
+      dt = std::min(dt, st.remaining / rt);
+    }
+
+    NGSX_CHECK_MSG(std::isfinite(dt) && dt >= 0, "simulator stalled");
+    if (total_io > 0) {
+      io_busy_time += dt;
+    }
+    now += dt;
+    // Advance every active rank; phase completions trigger transitions.
+    for (int r = 0; r < ranks; ++r) {
+      auto& st = state[static_cast<size_t>(r)];
+      if (st.done) {
+        continue;
+      }
+      st.remaining -= rate[static_cast<size_t>(r)] * dt;
+      if (st.remaining <= 1e-9) {
+        st.remaining = 0;
+        skip_empty(r);
+      }
+    }
+  }
+
+  SimResult result;
+  result.makespan = config_.rank_startup + now + collective_cost(ranks);
+  result.busiest_io_share = now > 0 ? io_busy_time / now : 0.0;
+  return result;
+}
+
+}  // namespace ngsx::cluster

@@ -1,0 +1,90 @@
+// ngsx/cluster/costmodel.h
+//
+// Cost calibration: measures per-record / per-byte costs of the *real*
+// ngsx implementation on this machine (generated sample data, timed inner
+// loops), producing the inputs the cluster simulator replays at the
+// paper's scales. This keeps the reproduced speedup curves tied to the
+// actual code: if the SAM parser gets slower or BAMX decoding faster, the
+// simulated figures move exactly as real cluster runs would.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "cluster/clustersim.h"
+#include "core/target.h"
+
+namespace ngsx::cluster {
+
+/// Measured costs of the conversion pipeline (seconds per record unless
+/// noted). All values come from timing real conversions of simulated data.
+struct ConversionCosts {
+  // Input decode paths.
+  double sam_parse = 0;        // SAM text line -> alignment object
+  double bam_decode = 0;       // native BAM decode (incl. BGZF inflate)
+  double bamtools_adapt = 0;   // BamTools-style object + adapt() (§V-A)
+  double bamx_decode = 0;      // fixed-stride BAMX decode
+  double bamx_encode = 0;      // alignment object -> BAMX record
+
+  // Output paths: CPU per record and average emitted bytes per record.
+  std::map<core::TargetFormat, double> format_cpu;
+  std::map<core::TargetFormat, double> out_bytes_per_record;
+
+  // Average input bytes per record in each source representation.
+  double sam_bytes_per_record = 0;
+  double bam_bytes_per_record = 0;
+  double bamx_bytes_per_record = 0;  // the stride
+
+  // Picard-style sequential comparator costs (Table I).
+  double picard_sam_to_fastq_per_record = 0;  // boxed parse + FASTQ emit
+  double picard_bam_to_sam_per_record = 0;    // decode + boxed + SAM emit
+};
+
+/// Generates ~2*sample_pairs alignment records and times every code path.
+/// Larger samples reduce jitter; ~20k pairs keeps a bench run under a
+/// minute on one core.
+ConversionCosts calibrate_conversion(uint64_t sample_pairs = 20000,
+                                     uint64_t seed = 1);
+
+/// Measured costs of the statistics kernels.
+struct StatsCosts {
+  /// Seconds per histogram point per window unit; the NL-means inner loop
+  /// is Theta((2r+1)(2l+1)) per point, so the cost for parameters (r, l)
+  /// is nlmeans_per_point_op * (2r+1) * (2l+1).
+  double nlmeans_per_point_op = 0;
+
+  /// Seconds per bin of the fused FDR sweep at the calibrated B; the
+  /// kernel is Theta(B^2) per bin, so scale by (B/calibrated_b)^2.
+  double fdr_fused_per_bin = 0;
+  double fdr_two_pass_per_bin = 0;  // the unfused ablation baseline
+  int calibrated_b = 0;
+};
+
+StatsCosts calibrate_stats(size_t sample_bins = 4000, int b = 80,
+                           uint64_t seed = 1);
+
+// ---------------------------------------------------------------------------
+// Workload builders shared by the figure benches.
+// ---------------------------------------------------------------------------
+
+/// A dataset-scale conversion job: every rank reads its byte share, spends
+/// CPU on its record share, and writes its output share.
+struct ConversionJob {
+  uint64_t records = 0;
+  double input_bytes = 0;
+  double cpu_per_record = 0;      // decode + format
+  double out_bytes_per_record = 0;
+  IoPattern read_pattern = IoPattern::kIrregular;
+};
+
+/// Builds the per-rank phases for `job` split evenly over `ranks`.
+std::vector<RankWork> conversion_work(const ConversionJob& job, int ranks);
+
+/// Builds the per-rank phases of a compute-only kernel (NL-means / FDR)
+/// with `total_cpu_seconds` of work split evenly, plus `input_bytes` of
+/// initial data distribution.
+std::vector<RankWork> kernel_work(double total_cpu_seconds,
+                                  double input_bytes, int ranks);
+
+}  // namespace ngsx::cluster

@@ -1,0 +1,508 @@
+#include "core/convert.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "core/partition.h"
+#include "formats/bam.h"
+#include "mpi/minimpi.h"
+#include "util/strutil.h"
+#include "util/timer.h"
+
+namespace fs = std::filesystem;
+
+namespace ngsx::core {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+// ------------------------------------------------------------------- region
+
+Region parse_region(std::string_view text, const SamHeader& header) {
+  Region region;
+  size_t colon = text.rfind(':');
+  std::string_view chrom = text;
+  if (colon != std::string_view::npos &&
+      text.find('-', colon) != std::string_view::npos) {
+    chrom = text.substr(0, colon);
+    std::string_view range = text.substr(colon + 1);
+    size_t dash = range.find('-');
+    int64_t beg1 =
+        strutil::parse_int<int64_t>(range.substr(0, dash), "region begin");
+    int64_t end1 =
+        strutil::parse_int<int64_t>(range.substr(dash + 1), "region end");
+    if (beg1 < 1 || end1 < beg1) {
+      throw UsageError("bad region range in '" + std::string(text) + "'");
+    }
+    region.begin = static_cast<int32_t>(beg1 - 1);  // 1-based incl -> 0-based
+    region.end = static_cast<int32_t>(end1);        // inclusive -> half-open
+  }
+  region.ref_id = header.ref_id(chrom);
+  if (region.ref_id < 0) {
+    throw UsageError("unknown chromosome '" + std::string(chrom) +
+                     "' in region '" + std::string(text) + "'");
+  }
+  if (colon == std::string_view::npos ||
+      text.find('-', colon) == std::string_view::npos) {
+    region.begin = 0;
+    region.end = static_cast<int32_t>(header.ref_length(region.ref_id));
+  }
+  return region;
+}
+
+// ----------------------------------------------------------------- internals
+
+namespace {
+
+struct LocalStats {
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+/// The runtime's read buffer (Figure 2): iterates complete lines over a
+/// byte range of a file, reading `buffer_bytes` at a time.
+class LineRangeReader {
+ public:
+  LineRangeReader(const InputFile& file, ByteRange range, size_t buffer_bytes)
+      : file_(file), range_(range), cursor_(range.begin),
+        buffer_bytes_(std::max<size_t>(buffer_bytes, 64 << 10)) {}
+
+  /// Next complete line (without '\n'); false when the range is exhausted.
+  bool next(std::string_view& line) {
+    while (true) {
+      size_t nl = buffer_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        line = std::string_view(buffer_.data() + pos_, nl - pos_);
+        pos_ = nl + 1;
+        return true;
+      }
+      if (cursor_ >= range_.end) {
+        if (pos_ < buffer_.size()) {
+          // Trailing line without newline (can only be the file's last).
+          line = std::string_view(buffer_.data() + pos_,
+                                  buffer_.size() - pos_);
+          pos_ = buffer_.size();
+          return true;
+        }
+        return false;
+      }
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+      size_t want = static_cast<size_t>(
+          std::min<uint64_t>(buffer_bytes_, range_.end - cursor_));
+      std::string chunk = file_.read_at(cursor_, want);
+      if (chunk.empty()) {
+        cursor_ = range_.end;
+        continue;
+      }
+      cursor_ += chunk.size();
+      buffer_ += chunk;
+    }
+  }
+
+ private:
+  const InputFile& file_;
+  ByteRange range_;
+  uint64_t cursor_;
+  size_t buffer_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+std::string part_path(const std::string& out_dir, int rank,
+                      TargetFormat format) {
+  return out_dir + "/part-" + std::to_string(rank) +
+         std::string(target_extension(format));
+}
+
+/// Reads the SAM header and the offset where alignment lines begin.
+std::pair<SamHeader, uint64_t> read_sam_header(const std::string& path) {
+  sam::SamFileReader reader(path);
+  return {reader.header(), reader.alignment_start_offset()};
+}
+
+ConvertStats merge_stats(const std::vector<LocalStats>& locals) {
+  ConvertStats stats;
+  for (const LocalStats& l : locals) {
+    stats.records_in += l.records_in;
+    stats.records_out += l.records_out;
+    stats.bytes_in += l.bytes_in;
+    stats.bytes_out += l.bytes_out;
+  }
+  return stats;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- 1. SAM converter
+
+ConvertStats convert_sam(const std::string& sam_path,
+                         const std::string& out_dir,
+                         const ConvertOptions& options) {
+  NGSX_CHECK_MSG(options.ranks >= 1, "ranks must be >= 1");
+  fs::create_directories(out_dir);
+  auto [header, body_offset] = read_sam_header(sam_path);
+  const uint64_t file_size = ngsx::file_size(sam_path);
+  const ByteRange body{body_offset, file_size};
+
+  std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
+  std::vector<std::string> outputs(static_cast<size_t>(options.ranks));
+
+  WallTimer timer;
+  mpi::run(options.ranks, [&](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    InputFile file(sam_path);  // each rank opens the input independently
+    ByteRange range = partition_sam_distributed(file, body, comm);
+
+    const std::string out_path = part_path(out_dir, rank, options.format);
+    outputs[static_cast<size_t>(rank)] = out_path;
+    auto writer = make_target_writer(options.format, out_path, header,
+                                     options.include_header);
+
+    LocalStats& local = locals[static_cast<size_t>(rank)];
+    local.bytes_in = range.size();
+
+    LineRangeReader lines(file, range, options.read_buffer_bytes);
+    AlignmentRecord rec;
+    std::string_view line;
+    while (lines.next(line)) {
+      if (line.empty() || line[0] == '@') {
+        continue;  // stray header line or blank
+      }
+      sam::parse_record(line, header, rec);
+      ++local.records_in;
+      if (writer->write(rec)) {
+        ++local.records_out;
+      }
+    }
+    writer->close();
+    local.bytes_out = writer->bytes_written();
+  });
+
+  ConvertStats stats = merge_stats(locals);
+  stats.seconds = timer.seconds();
+  stats.outputs = std::move(outputs);
+  return stats;
+}
+
+// ------------------------------------------------------- 2. BAM converter
+
+PreprocessStats preprocess_bam(const std::string& bam_path,
+                               const std::string& bamx_path,
+                               const std::string& baix_path) {
+  WallTimer timer;
+  PreprocessStats stats;
+  stats.bytes_in = ngsx::file_size(bam_path);
+
+  // Pass 1 (measure): BAM offers no random access into records, so the
+  // stride-defining maxima require a full sequential decode pass.
+  bamx::BamxLayout layout;
+  {
+    bam::BamFileReader reader(bam_path);
+    AlignmentRecord rec;
+    while (reader.next(rec)) {
+      layout.accommodate(rec);
+    }
+  }
+
+  // Pass 2 (encode): write fixed-stride records and collect BAIX entries.
+  std::vector<bamx::BaixEntry> entries;
+  {
+    bam::BamFileReader reader(bam_path);
+    bamx::BamxWriter writer(bamx_path, reader.header(), layout);
+    AlignmentRecord rec;
+    uint64_t index = 0;
+    while (reader.next(rec)) {
+      writer.write(rec);
+      entries.push_back(bamx::BaixEntry{rec.ref_id, rec.pos, index});
+      ++index;
+    }
+    writer.close();
+    stats.records = index;
+  }
+  bamx::BaixIndex index = bamx::BaixIndex::from_entries(std::move(entries));
+  index.save(baix_path);
+
+  stats.bytes_out = ngsx::file_size(bamx_path) + ngsx::file_size(baix_path);
+  stats.bamx_paths = {bamx_path};
+  stats.baix_paths = {baix_path};
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+ConvertStats convert_bamx(const std::string& bamx_path,
+                          const std::string& baix_path,
+                          const std::string& out_dir,
+                          const ConvertOptions& options,
+                          std::optional<Region> region) {
+  NGSX_CHECK_MSG(options.ranks >= 1, "ranks must be >= 1");
+  fs::create_directories(out_dir);
+
+  // Open once to learn the header/geometry; ranks reopen independently.
+  bamx::BamxReader probe(bamx_path);
+  const SamHeader header = probe.header();
+  const uint64_t n_records = probe.num_records();
+  const uint64_t stride = probe.layout().stride();
+
+  // Partial conversion: locate the region in the BAIX by binary search
+  // (paper §III-B); each rank then converts an equal share of the matching
+  // index entries.
+  bamx::BaixIndex baix;
+  size_t region_first = 0;
+  size_t region_last = 0;
+  if (region.has_value()) {
+    NGSX_CHECK_MSG(!baix_path.empty(),
+                   "partial conversion requires a BAIX index");
+    baix = bamx::BaixIndex::load(baix_path);
+    std::tie(region_first, region_last) =
+        baix.query(region->ref_id, region->begin, region->end);
+  }
+
+  std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
+  std::vector<std::string> outputs(static_cast<size_t>(options.ranks));
+
+  WallTimer timer;
+  mpi::run(options.ranks, [&](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    bamx::BamxReader reader(bamx_path);
+    const std::string out_path = part_path(out_dir, rank, options.format);
+    outputs[static_cast<size_t>(rank)] = out_path;
+    auto writer = make_target_writer(options.format, out_path, header,
+                                     options.include_header);
+    LocalStats& local = locals[static_cast<size_t>(rank)];
+
+    if (!region.has_value()) {
+      // Full conversion: even record-range split (exact thanks to the
+      // fixed stride), bulk fetches of record_batch records at a time.
+      auto ranges = split_records(n_records, comm.size());
+      auto [begin, end] = ranges[static_cast<size_t>(rank)];
+      std::vector<AlignmentRecord> batch;
+      for (uint64_t at = begin; at < end;) {
+        uint64_t take = std::min<uint64_t>(options.record_batch, end - at);
+        batch.clear();
+        reader.read_range(at, at + take, batch);
+        for (const AlignmentRecord& rec : batch) {
+          ++local.records_in;
+          if (writer->write(rec)) {
+            ++local.records_out;
+          }
+        }
+        at += take;
+        local.bytes_in += take * stride;
+      }
+    } else {
+      // Partial conversion: equal share of BAIX entries, random access per
+      // record (entries point anywhere in the BAMX).
+      auto ranges =
+          split_records(region_last - region_first, comm.size());
+      auto [begin, end] = ranges[static_cast<size_t>(rank)];
+      AlignmentRecord rec;
+      for (uint64_t e = begin; e < end; ++e) {
+        const bamx::BaixEntry& entry =
+            baix.entry(region_first + static_cast<size_t>(e));
+        reader.read(entry.record_index, rec);
+        ++local.records_in;
+        local.bytes_in += stride;
+        if (writer->write(rec)) {
+          ++local.records_out;
+        }
+      }
+    }
+    writer->close();
+    local.bytes_out = writer->bytes_written();
+  });
+
+  ConvertStats stats = merge_stats(locals);
+  stats.seconds = timer.seconds();
+  stats.outputs = std::move(outputs);
+  return stats;
+}
+
+void build_baix2(const std::string& bamx_path,
+                 const std::string& baix2_path) {
+  bamx::BamxReader reader(bamx_path);
+  baix2::Baix2Index::build(reader).save(baix2_path);
+}
+
+ConvertStats convert_bamx_filtered(const std::string& bamx_path,
+                                   const std::string& baix2_path,
+                                   const std::string& out_dir,
+                                   const ConvertOptions& options,
+                                   const Region& region,
+                                   baix2::RegionMode mode,
+                                   const baix2::Filter& filter) {
+  NGSX_CHECK_MSG(options.ranks >= 1, "ranks must be >= 1");
+  fs::create_directories(out_dir);
+
+  bamx::BamxReader probe(bamx_path);
+  const SamHeader header = probe.header();
+  const uint64_t stride = probe.layout().stride();
+
+  // Resolve the matching record set on the index alone, then hand each
+  // rank an equal share (indices are ascending, so shares stay I/O-local).
+  baix2::Baix2Index index = baix2::Baix2Index::load(baix2_path);
+  std::vector<uint64_t> matches =
+      index.query(region.ref_id, region.begin, region.end, mode, filter);
+
+  std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
+  std::vector<std::string> outputs(static_cast<size_t>(options.ranks));
+
+  WallTimer timer;
+  mpi::run(options.ranks, [&](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    bamx::BamxReader reader(bamx_path);
+    const std::string out_path = part_path(out_dir, rank, options.format);
+    outputs[static_cast<size_t>(rank)] = out_path;
+    auto writer = make_target_writer(options.format, out_path, header,
+                                     options.include_header);
+    LocalStats& local = locals[static_cast<size_t>(rank)];
+
+    auto shares = split_records(matches.size(), comm.size());
+    auto [begin, end] = shares[static_cast<size_t>(rank)];
+    AlignmentRecord rec;
+    for (uint64_t k = begin; k < end; ++k) {
+      reader.read(matches[static_cast<size_t>(k)], rec);
+      ++local.records_in;
+      local.bytes_in += stride;
+      if (writer->write(rec)) {
+        ++local.records_out;
+      }
+    }
+    writer->close();
+    local.bytes_out = writer->bytes_written();
+  });
+
+  ConvertStats stats = merge_stats(locals);
+  stats.seconds = timer.seconds();
+  stats.outputs = std::move(outputs);
+  return stats;
+}
+
+ConvertStats convert_bam_sequential(const std::string& bam_path,
+                                    const std::string& out_path,
+                                    TargetFormat format) {
+  WallTimer timer;
+  bam::BamFileReader reader(bam_path);
+  auto writer = make_target_writer(format, out_path, reader.header(),
+                                   /*include_header=*/true);
+  ConvertStats stats;
+  stats.bytes_in = ngsx::file_size(bam_path);
+  AlignmentRecord rec;
+  while (reader.next(rec)) {
+    ++stats.records_in;
+    if (writer->write(rec)) {
+      ++stats.records_out;
+    }
+  }
+  writer->close();
+  stats.bytes_out = writer->bytes_written();
+  stats.outputs = {out_path};
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+// ------------------------------------- 3. preprocessing-optimized SAM
+
+PreprocessStats preprocess_sam_parallel(const std::string& sam_path,
+                                        const std::string& out_dir,
+                                        int m_ranks) {
+  NGSX_CHECK_MSG(m_ranks >= 1, "ranks must be >= 1");
+  fs::create_directories(out_dir);
+  auto [header, body_offset] = read_sam_header(sam_path);
+  const uint64_t file_size = ngsx::file_size(sam_path);
+  const ByteRange body{body_offset, file_size};
+
+  std::vector<LocalStats> locals(static_cast<size_t>(m_ranks));
+  std::vector<std::string> bamx_paths(static_cast<size_t>(m_ranks));
+  std::vector<std::string> baix_paths(static_cast<size_t>(m_ranks));
+
+  WallTimer timer;
+  mpi::run(m_ranks, [&](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    InputFile file(sam_path);
+    ByteRange range = partition_sam_distributed(file, body, comm);
+    LocalStats& local = locals[static_cast<size_t>(rank)];
+    local.bytes_in = range.size();
+
+    // Pass 1 (measure): parse the partition to size the shard's layout.
+    bamx::BamxLayout layout;
+    {
+      LineRangeReader lines(file, range, 4 << 20);
+      AlignmentRecord rec;
+      std::string_view line;
+      while (lines.next(line)) {
+        if (line.empty() || line[0] == '@') {
+          continue;
+        }
+        sam::parse_record(line, header, rec);
+        layout.accommodate(rec);
+      }
+    }
+
+    // Pass 2 (encode): write this rank's BAMX shard and its BAIX.
+    const std::string bamx_path =
+        out_dir + "/shard-" + std::to_string(rank) + ".bamx";
+    const std::string baix_path =
+        out_dir + "/shard-" + std::to_string(rank) + ".baix";
+    bamx_paths[static_cast<size_t>(rank)] = bamx_path;
+    baix_paths[static_cast<size_t>(rank)] = baix_path;
+    {
+      bamx::BamxWriter writer(bamx_path, header, layout);
+      std::vector<bamx::BaixEntry> entries;
+      LineRangeReader lines(file, range, 4 << 20);
+      AlignmentRecord rec;
+      std::string_view line;
+      uint64_t index = 0;
+      while (lines.next(line)) {
+        if (line.empty() || line[0] == '@') {
+          continue;
+        }
+        sam::parse_record(line, header, rec);
+        writer.write(rec);
+        entries.push_back(bamx::BaixEntry{rec.ref_id, rec.pos, index});
+        ++index;
+      }
+      writer.close();
+      local.records_in = index;
+      bamx::BaixIndex::from_entries(std::move(entries)).save(baix_path);
+    }
+    local.bytes_out =
+        ngsx::file_size(bamx_path) + ngsx::file_size(baix_path);
+  });
+
+  PreprocessStats stats;
+  for (const LocalStats& l : locals) {
+    stats.records += l.records_in;
+    stats.bytes_in += l.bytes_in;
+    stats.bytes_out += l.bytes_out;
+  }
+  stats.bamx_paths = std::move(bamx_paths);
+  stats.baix_paths = std::move(baix_paths);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+ConvertStats convert_bamx_shards(const std::vector<std::string>& bamx_paths,
+                                 const std::string& out_dir,
+                                 const ConvertOptions& options) {
+  fs::create_directories(out_dir);
+  ConvertStats total;
+  WallTimer timer;
+  for (size_t m = 0; m < bamx_paths.size(); ++m) {
+    const std::string shard_dir = out_dir + "/shard-" + std::to_string(m);
+    ConvertStats s =
+        convert_bamx(bamx_paths[m], /*baix_path=*/"", shard_dir, options);
+    total.records_in += s.records_in;
+    total.records_out += s.records_out;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+    total.outputs.insert(total.outputs.end(), s.outputs.begin(),
+                         s.outputs.end());
+  }
+  total.seconds = timer.seconds();
+  return total;
+}
+
+}  // namespace ngsx::core

@@ -1,0 +1,152 @@
+// ngsx/core/convert.h
+//
+// The three converter instances of the paper's framework (§III):
+//
+//   1. SAM format converter           — Algorithm-1 byte partitioning, then
+//                                       independent parse + convert + write
+//                                       per rank (Figure 2).
+//   2. BAM format converter           — sequential preprocessing into
+//                                       BAMX + BAIX, then parallel
+//                                       conversion by record-range
+//                                       partitioning (Figure 3); supports
+//                                       *partial conversion* of a genomic
+//                                       region via BAIX binary search.
+//   3. Preprocessing-optimized SAM
+//      format converter               — Algorithm 1 parallelizes the
+//                                       preprocessing itself, producing M
+//                                       BAMX/BAIX shards that the parallel
+//                                       conversion phase then consumes
+//                                       (Figure 5; M x N output files).
+//
+// Ranks execute as minimpi ranks (threads standing in for MPI processes);
+// each rank opens the input independently and writes its own part file,
+// mirroring the paper's "no communication after partitioning" property.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/target.h"
+#include "formats/baix2.h"
+#include "formats/bamx.h"
+
+namespace ngsx::core {
+
+/// A genomic region for partial conversion, zero-based half-open.
+struct Region {
+  int32_t ref_id = -1;
+  int32_t begin = 0;
+  int32_t end = 0;
+};
+
+/// Parses "chr1", "chr1:1000-2000" (1-based inclusive, samtools style)
+/// against `header`. Throws UsageError on unknown chromosome / bad syntax.
+Region parse_region(std::string_view text, const sam::SamHeader& header);
+
+/// Options shared by the converters.
+struct ConvertOptions {
+  TargetFormat format = TargetFormat::kBed;
+  int ranks = 1;                       // parallel conversion width (N)
+  size_t read_buffer_bytes = 4 << 20;  // runtime read buffer per rank
+  size_t record_batch = 4096;          // BAMX records fetched per pread
+  bool include_header = true;          // SAM/BAM part files carry a header
+};
+
+/// Aggregate statistics of one conversion run.
+struct ConvertStats {
+  uint64_t records_in = 0;    // alignment objects parsed
+  uint64_t records_out = 0;   // target objects emitted
+  uint64_t bytes_in = 0;      // input bytes consumed
+  uint64_t bytes_out = 0;     // output bytes produced
+  double seconds = 0.0;       // wall time of the timed phase
+
+  /// Paths of the part files produced (one per conversion rank).
+  std::vector<std::string> outputs;
+};
+
+/// Statistics of a preprocessing phase.
+struct PreprocessStats {
+  uint64_t records = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  double seconds = 0.0;
+  std::vector<std::string> bamx_paths;
+  std::vector<std::string> baix_paths;
+};
+
+// ---------------------------------------------------------------------------
+// 1. SAM format converter (§III-A).
+// ---------------------------------------------------------------------------
+
+/// Converts `sam_path` into `options.format`, writing
+/// `<out_dir>/part-<rank><ext>` per rank. The input is partitioned with
+/// Algorithm 1 (forward variant) executed collectively by the ranks.
+ConvertStats convert_sam(const std::string& sam_path,
+                         const std::string& out_dir,
+                         const ConvertOptions& options);
+
+// ---------------------------------------------------------------------------
+// 2. BAM format converter (§III-B).
+// ---------------------------------------------------------------------------
+
+/// Sequential preprocessing: BAM -> BAMX + BAIX. Two passes over the BAM
+/// (measure, then encode) because the BAMX stride must be known up front;
+/// BAM readability is inherently sequential, which is why this phase cannot
+/// be parallelized (the paper's §III-B observation).
+PreprocessStats preprocess_bam(const std::string& bam_path,
+                               const std::string& bamx_path,
+                               const std::string& baix_path);
+
+/// Parallel conversion phase over a preprocessed BAMX file. With `region`,
+/// performs partial conversion: the BAIX is binary-searched for the region
+/// and only the matching records are fetched (random access) and converted.
+ConvertStats convert_bamx(const std::string& bamx_path,
+                          const std::string& baix_path,
+                          const std::string& out_dir,
+                          const ConvertOptions& options,
+                          std::optional<Region> region = std::nullopt);
+
+/// Extended partial conversion over a BAIX v2 index (the paper's
+/// future-work "more partial conversion types"): overlap or start-within
+/// region semantics plus index-resolvable filters (min MAPQ, strand,
+/// duplicate exclusion). Non-matching records are never fetched.
+ConvertStats convert_bamx_filtered(const std::string& bamx_path,
+                                   const std::string& baix2_path,
+                                   const std::string& out_dir,
+                                   const ConvertOptions& options,
+                                   const Region& region,
+                                   baix2::RegionMode mode,
+                                   const baix2::Filter& filter = {});
+
+/// Builds the v2 index next to an existing BAMX file.
+void build_baix2(const std::string& bamx_path, const std::string& baix2_path);
+
+/// Convenience: the paper's "conversion without preprocessing" baseline —
+/// a purely sequential BAM -> target stream (what Table I's ours-without-
+/// preprocessing column for BAM measures).
+ConvertStats convert_bam_sequential(const std::string& bam_path,
+                                    const std::string& out_path,
+                                    TargetFormat format);
+
+// ---------------------------------------------------------------------------
+// 3. Preprocessing-optimized SAM format converter (§III-C).
+// ---------------------------------------------------------------------------
+
+/// Parallel preprocessing: SAM is partitioned with Algorithm 1 across
+/// `m_ranks`, each rank converting its partition into its own BAMX + BAIX
+/// shard under `out_dir` ("shard-<rank>.bamx"/".baix").
+PreprocessStats preprocess_sam_parallel(const std::string& sam_path,
+                                        const std::string& out_dir,
+                                        int m_ranks);
+
+/// Conversion phase over the M shards: each shard is converted with
+/// `options.ranks` (N) ranks into its own subdirectory, producing the
+/// paper's M x N target files.
+ConvertStats convert_bamx_shards(const std::vector<std::string>& bamx_paths,
+                                 const std::string& out_dir,
+                                 const ConvertOptions& options);
+
+}  // namespace ngsx::core

@@ -1,0 +1,146 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+namespace ngsx::core {
+
+std::vector<ByteRange> split_even(uint64_t offset, uint64_t length, int n) {
+  NGSX_CHECK_MSG(n >= 1, "need at least one partition");
+  std::vector<ByteRange> ranges(static_cast<size_t>(n));
+  uint64_t base = length / static_cast<uint64_t>(n);
+  uint64_t extra = length % static_cast<uint64_t>(n);
+  uint64_t cursor = offset;
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    uint64_t size = base + (r < extra ? 1 : 0);
+    ranges[r] = ByteRange{cursor, cursor + size};
+    cursor += size;
+  }
+  return ranges;
+}
+
+namespace {
+constexpr size_t kScanChunk = 64 << 10;
+}  // namespace
+
+uint64_t scan_forward_to_line_start(const InputFile& file, uint64_t from,
+                                    uint64_t limit) {
+  std::string buf;
+  for (uint64_t pos = from; pos < limit;) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(kScanChunk, limit - pos));
+    buf = file.read_at(pos, want);
+    if (buf.empty()) {
+      break;
+    }
+    size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      return pos + nl + 1;
+    }
+    pos += buf.size();
+  }
+  return limit;
+}
+
+uint64_t scan_backward_to_line_start(const InputFile& file, uint64_t from,
+                                     uint64_t floor) {
+  std::string buf;
+  uint64_t pos = from;
+  while (pos > floor) {
+    uint64_t chunk_begin =
+        pos > floor + kScanChunk ? pos - kScanChunk : floor;
+    buf = file.read_at(chunk_begin, static_cast<size_t>(pos - chunk_begin));
+    size_t nl = buf.rfind('\n');
+    if (nl != std::string::npos) {
+      return chunk_begin + nl + 1;
+    }
+    pos = chunk_begin;
+  }
+  return floor;
+}
+
+std::vector<ByteRange> partition_sam_forward(const InputFile& file,
+                                             ByteRange body, int n) {
+  std::vector<ByteRange> ranges = split_even(body.begin, body.size(), n);
+  // Adjust starting points forward for ranks 1..N-1 (Algorithm 1 lines
+  // 2-10), then propagate each new start to the preceding rank's end
+  // (lines 11-15).
+  for (size_t r = 1; r < ranges.size(); ++r) {
+    ranges[r].begin =
+        scan_forward_to_line_start(file, ranges[r].begin, body.end);
+  }
+  for (size_t r = 0; r + 1 < ranges.size(); ++r) {
+    ranges[r].end = ranges[r + 1].begin;
+  }
+  ranges.back().end = body.end;
+  return ranges;
+}
+
+std::vector<ByteRange> partition_sam_backward(const InputFile& file,
+                                              ByteRange body, int n) {
+  std::vector<ByteRange> ranges = split_even(body.begin, body.size(), n);
+  // Adjust ending points backward for ranks 0..N-2, then propagate each new
+  // end to the succeeding rank's start.
+  for (size_t r = 0; r + 1 < ranges.size(); ++r) {
+    ranges[r].end =
+        scan_backward_to_line_start(file, ranges[r].end, body.begin);
+  }
+  for (size_t r = 1; r < ranges.size(); ++r) {
+    ranges[r].begin = ranges[r - 1].end;
+  }
+  // Guard against degenerate tiny partitions where a backward scan crossed
+  // a preceding boundary: clamp to keep ranges monotone.
+  for (size_t r = 1; r < ranges.size(); ++r) {
+    if (ranges[r].begin > ranges[r].end) {
+      ranges[r].end = ranges[r].begin;
+    }
+  }
+  return ranges;
+}
+
+ByteRange partition_sam_distributed(const InputFile& file, ByteRange body,
+                                    mpi::Comm& comm) {
+  const int rank = comm.rank();
+  const int n = comm.size();
+  std::vector<ByteRange> initial = split_even(body.begin, body.size(), n);
+  ByteRange mine = initial[static_cast<size_t>(rank)];
+
+  // Algorithm 1, lines 2-10: ranks != 0 detect the first line breaker from
+  // their initial starting point and move just past it.
+  if (rank != 0) {
+    mine.begin = scan_forward_to_line_start(file, mine.begin, body.end);
+  }
+  // Lines 11-15: send the adjusted start to the preceding rank, which
+  // adopts it as its end.
+  constexpr int kTagStart = 17;
+  if (rank != 0) {
+    comm.send_value<uint64_t>(rank - 1, kTagStart, mine.begin);
+  }
+  if (rank != n - 1) {
+    mine.end = comm.recv_value<uint64_t>(rank + 1, kTagStart);
+  } else {
+    mine.end = body.end;
+  }
+  // Line 16: global barrier before lengths are considered final.
+  comm.barrier();
+  if (mine.begin > mine.end) {
+    mine.end = mine.begin;  // degenerate partition on tiny inputs
+  }
+  return mine;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> split_records(uint64_t n_records,
+                                                         int n) {
+  NGSX_CHECK_MSG(n >= 1, "need at least one partition");
+  std::vector<std::pair<uint64_t, uint64_t>> out(static_cast<size_t>(n));
+  uint64_t base = n_records / static_cast<uint64_t>(n);
+  uint64_t extra = n_records % static_cast<uint64_t>(n);
+  uint64_t cursor = 0;
+  for (size_t r = 0; r < out.size(); ++r) {
+    uint64_t size = base + (r < extra ? 1 : 0);
+    out[r] = {cursor, cursor + size};
+    cursor += size;
+  }
+  return out;
+}
+
+}  // namespace ngsx::core

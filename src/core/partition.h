@@ -1,0 +1,85 @@
+// ngsx/core/partition.h
+//
+// Partitioning strategies for the parallel converters (§III of the paper).
+//
+// SAM partitioning is the paper's Algorithm 1: split the byte range evenly,
+// then repair boundaries that landed mid-record by scanning for the line
+// breaker. The paper describes two equivalent implementations — adjust
+// starting points forward (ranks 1..N-1 scan forward for the first '\n')
+// or adjust ending points backward (ranks 0..N-2 scan backward) — and
+// chooses the first; both are provided here and property-tested for
+// equivalence of the induced record sets.
+//
+// BAMX partitioning is trivial by design: records have a fixed stride, so
+// an even split of *record indices* is exact (§III-B).
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mpi/minimpi.h"
+#include "util/binio.h"
+
+namespace ngsx::core {
+
+/// Half-open byte range [begin, end) of one rank's partition.
+struct ByteRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t size() const { return end - begin; }
+  bool operator==(const ByteRange&) const = default;
+};
+
+/// Even split of [offset, offset+length) into n ranges (the initial
+/// distribution step of Algorithm 1; remainders go to the leading ranks).
+std::vector<ByteRange> split_even(uint64_t offset, uint64_t length, int n);
+
+/// Scans forward from `from` in `file` for the first '\n'; returns the
+/// offset just past it, or `limit` if none found before `limit`.
+uint64_t scan_forward_to_line_start(const InputFile& file, uint64_t from,
+                                    uint64_t limit);
+
+/// Scans backward from `from` (exclusive) for the last '\n' at or after
+/// `floor`; returns the offset just past that '\n', or `floor` if none.
+uint64_t scan_backward_to_line_start(const InputFile& file, uint64_t from,
+                                     uint64_t floor);
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 — single-process form (computes every rank's range at once;
+// used by tests and by the driver when ranks share an address space).
+// ---------------------------------------------------------------------------
+
+/// Forward variant (the paper's choice): each boundary moves forward to the
+/// next line start. `body` is the byte range holding alignment lines
+/// (header excluded).
+std::vector<ByteRange> partition_sam_forward(const InputFile& file,
+                                             ByteRange body, int n);
+
+/// Backward variant: each boundary moves back to the previous line start.
+std::vector<ByteRange> partition_sam_backward(const InputFile& file,
+                                              ByteRange body, int n);
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 — distributed form, matching the paper's pseudo-code: rank r
+// adjusts its own starting point, then sends it to rank r-1, which uses it
+// as its ending point. Must be called collectively.
+// ---------------------------------------------------------------------------
+
+/// Returns this rank's byte range. Communication structure is exactly
+/// Algorithm 1: a forward scan on ranks != 0, one point-to-point message to
+/// the preceding rank, and a barrier.
+ByteRange partition_sam_distributed(const InputFile& file, ByteRange body,
+                                    mpi::Comm& comm);
+
+// ---------------------------------------------------------------------------
+// Record-count partitioning (BAMX / BAIX).
+// ---------------------------------------------------------------------------
+
+/// Even split of record indices [0, n_records) into n ranges.
+std::vector<std::pair<uint64_t, uint64_t>> split_records(uint64_t n_records,
+                                                         int n);
+
+}  // namespace ngsx::core

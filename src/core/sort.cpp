@@ -1,0 +1,191 @@
+#include "core/sort.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "formats/bam.h"
+#include "formats/sam.h"
+#include "util/strutil.h"
+
+namespace fs = std::filesystem;
+
+namespace ngsx::core {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+namespace {
+
+/// Coordinate order: (ref id as unsigned so -1 sorts last, position).
+bool coord_less(const AlignmentRecord& a, const AlignmentRecord& b) {
+  uint32_t ra = static_cast<uint32_t>(a.ref_id);
+  uint32_t rb = static_cast<uint32_t>(b.ref_id);
+  if (ra != rb) {
+    return ra < rb;
+  }
+  return a.pos < b.pos;
+}
+
+/// Unified record source over SAM or BAM.
+class RecordSource {
+ public:
+  explicit RecordSource(const std::string& path) {
+    if (strutil::ends_with(path, ".bam")) {
+      bam_ = std::make_unique<bam::BamFileReader>(path);
+    } else {
+      sam_ = std::make_unique<sam::SamFileReader>(path);
+    }
+  }
+
+  const SamHeader& header() const {
+    return bam_ ? bam_->header() : sam_->header();
+  }
+
+  bool next(AlignmentRecord& rec) {
+    return bam_ ? bam_->next(rec) : sam_->next(rec);
+  }
+
+ private:
+  std::unique_ptr<bam::BamFileReader> bam_;
+  std::unique_ptr<sam::SamFileReader> sam_;
+};
+
+}  // namespace
+
+uint64_t sort_to_bam(const std::string& in_path, const std::string& out_bam,
+                     const SortOptions& options) {
+  NGSX_CHECK_MSG(options.max_records_in_memory >= 2,
+                 "memory budget too small to sort");
+  RecordSource source(in_path);
+  const SamHeader header = source.header();
+
+  const std::string temp_base =
+      options.temp_dir.empty()
+          ? out_bam
+          : options.temp_dir + "/" + fs::path(out_bam).filename().string();
+
+  // Phase 1: sorted spill runs.
+  std::vector<std::string> runs;
+  std::vector<AlignmentRecord> buffer;
+  buffer.reserve(std::min<size_t>(options.max_records_in_memory, 1 << 20));
+  uint64_t total = 0;
+
+  auto spill = [&]() {
+    if (buffer.empty()) {
+      return;
+    }
+    std::stable_sort(buffer.begin(), buffer.end(), coord_less);
+    std::string run_path =
+        temp_base + ".run" + std::to_string(runs.size()) + ".tmp.bam";
+    bam::BamFileWriter writer(run_path, header, options.compression_level);
+    for (const auto& rec : buffer) {
+      writer.write(rec);
+    }
+    writer.close();
+    runs.push_back(run_path);
+    buffer.clear();
+  };
+
+  {
+    AlignmentRecord rec;
+    while (source.next(rec)) {
+      buffer.push_back(rec);
+      ++total;
+      if (buffer.size() >= options.max_records_in_memory) {
+        spill();
+      }
+    }
+  }
+
+  // Fast path: everything fit in memory — sort and write directly.
+  if (runs.empty()) {
+    std::stable_sort(buffer.begin(), buffer.end(), coord_less);
+    bam::BamFileWriter writer(out_bam, header, options.compression_level);
+    for (const auto& rec : buffer) {
+      writer.write(rec);
+    }
+    writer.close();
+    return total;
+  }
+  spill();  // the final partial buffer becomes the last run
+
+  // Phase 2: k-way merge of the runs. Ties break by run index, which —
+  // because runs are created in input order and each run is stably
+  // sorted — makes the whole sort stable.
+  struct Head {
+    AlignmentRecord rec;
+    size_t run;
+  };
+  auto head_greater = [](const Head& a, const Head& b) {
+    if (coord_less(a.rec, b.rec)) {
+      return false;
+    }
+    if (coord_less(b.rec, a.rec)) {
+      return true;
+    }
+    return a.run > b.run;
+  };
+  std::vector<std::unique_ptr<bam::BamFileReader>> readers;
+  readers.reserve(runs.size());
+  std::priority_queue<Head, std::vector<Head>, decltype(head_greater)> heap(
+      head_greater);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    readers.push_back(std::make_unique<bam::BamFileReader>(runs[r]));
+    AlignmentRecord rec;
+    if (readers.back()->next(rec)) {
+      heap.push(Head{std::move(rec), r});
+    }
+  }
+
+  uint64_t written = 0;
+  {
+    bam::BamFileWriter writer(out_bam, header, options.compression_level);
+    while (!heap.empty()) {
+      Head head = heap.top();
+      heap.pop();
+      writer.write(head.rec);
+      ++written;
+      AlignmentRecord rec;
+      if (readers[head.run]->next(rec)) {
+        heap.push(Head{std::move(rec), head.run});
+      }
+    }
+    writer.close();
+  }
+  NGSX_CHECK_MSG(written == total, "merge lost records");
+
+  for (const auto& run : runs) {
+    std::error_code ec;
+    fs::remove(run, ec);  // best effort
+  }
+  return total;
+}
+
+bool is_coordinate_sorted(const std::string& path) {
+  RecordSource source(path);
+  AlignmentRecord rec;
+  uint32_t last_ref = 0;
+  int32_t last_pos = -1;
+  bool seen_unmapped = false;
+  while (source.next(rec)) {
+    if (rec.ref_id < 0) {
+      seen_unmapped = true;
+      continue;
+    }
+    if (seen_unmapped) {
+      return false;  // mapped record after the unmapped block
+    }
+    uint32_t ref = static_cast<uint32_t>(rec.ref_id);
+    if (ref < last_ref || (ref == last_ref && rec.pos < last_pos)) {
+      return false;
+    }
+    last_ref = ref;
+    last_pos = rec.pos;
+  }
+  return true;
+}
+
+}  // namespace ngsx::core

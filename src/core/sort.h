@@ -1,0 +1,42 @@
+// ngsx/core/sort.h
+//
+// External-merge coordinate sorting of SAM/BAM into sorted BAM.
+//
+// The paper's BAM experiments assume coordinate-sorted input ("a 117 GB
+// sorted BAM dataset", §V-C) — the standard upstream `samtools sort` step.
+// A downstream adopter of this library needs that step too, so it is
+// provided: records are buffered up to a memory budget, each full buffer
+// is sorted and spilled as a BAM run, and the runs are k-way merged into
+// the output. Sorting is stable (equal coordinates keep input order), the
+// order is (reference id, position) with unmapped records last, matching
+// samtools' coordinate order.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ngsx::core {
+
+struct SortOptions {
+  /// Records buffered in memory before spilling a run. The default keeps
+  /// runs around a few hundred MB of decoded records.
+  size_t max_records_in_memory = 1'000'000;
+
+  /// BGZF level for spill runs and the output.
+  int compression_level = 6;
+
+  /// Directory for spill runs; empty = alongside the output file.
+  std::string temp_dir;
+};
+
+/// Coordinate-sorts `in_path` (".sam" or ".bam", by extension) into a
+/// sorted BAM at `out_bam`. Returns the number of records written.
+uint64_t sort_to_bam(const std::string& in_path, const std::string& out_bam,
+                     const SortOptions& options = {});
+
+/// True if the SAM/BAM file at `path` is coordinate-sorted (unmapped
+/// records allowed only in a trailing block).
+bool is_coordinate_sorted(const std::string& path);
+
+}  // namespace ngsx::core

@@ -1,0 +1,67 @@
+// ngsx/core/target.h
+//
+// Target formats and the "user program" abstraction of the converter
+// framework (§III-A): the runtime hands each parsed alignment object to a
+// TargetWriter, which turns it into a target object and emits it. Adding a
+// new output format means implementing this one interface — everything
+// else (partitioning, buffering, parallel I/O) stays in the runtime, which
+// is the paper's extendibility claim.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "formats/sam.h"
+
+namespace ngsx::core {
+
+/// Output formats supported by the converter framework (paper §I).
+enum class TargetFormat {
+  kSam,
+  kBam,
+  kBed,
+  kBedgraph,
+  kFasta,
+  kFastq,
+  kJson,
+  kYaml,
+};
+
+/// Parses a format name ("sam", "BED", "bedgraph", ...).
+TargetFormat parse_target_format(std::string_view name);
+
+/// Canonical lowercase name ("bedgraph").
+std::string_view target_format_name(TargetFormat format);
+
+/// File extension including the dot (".bedgraph").
+std::string_view target_extension(TargetFormat format);
+
+/// One rank's output stream in a chosen target format. Writers own their
+/// output file; close() finalizes it (BGZF EOF marker for BAM, buffer
+/// flush for text).
+class TargetWriter {
+ public:
+  virtual ~TargetWriter() = default;
+
+  /// Converts and emits one alignment object. Returns true if a target
+  /// object was produced (position-based formats skip unmapped records).
+  virtual bool write(const sam::AlignmentRecord& rec) = 0;
+
+  virtual void close() = 0;
+
+  /// Bytes emitted so far.
+  virtual uint64_t bytes_written() const = 0;
+};
+
+/// Creates a writer for `format` writing to `path`. `include_header`
+/// controls whether SAM/BAM part files carry the header (per-rank part
+/// files default to carrying it so each part is independently readable);
+/// text formats ignore it.
+std::unique_ptr<TargetWriter> make_target_writer(TargetFormat format,
+                                                 const std::string& path,
+                                                 const sam::SamHeader& header,
+                                                 bool include_header = true);
+
+}  // namespace ngsx::core

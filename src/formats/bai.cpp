@@ -1,0 +1,208 @@
+#include "formats/bai.h"
+
+#include <algorithm>
+
+#include "util/binio.h"
+
+namespace ngsx::bai {
+
+namespace {
+constexpr uint32_t kLinearShift = 14;  // 16 Kbp windows
+constexpr uint64_t kNoOffset = ~0ull;
+}  // namespace
+
+BaiIndex BaiIndex::build(const std::string& bam_path) {
+  bam::BamFileReader reader(bam_path);
+  BaiIndex index;
+  index.refs_.resize(reader.header().references().size());
+
+  sam::AlignmentRecord rec;
+  int32_t last_ref = -1;
+  int32_t last_pos = -1;
+  while (true) {
+    uint64_t vbeg = reader.tell();
+    if (!reader.next(rec)) {
+      break;
+    }
+    uint64_t vend = reader.tell();
+    if (rec.ref_id < 0 || rec.pos < 0) {
+      continue;  // unmapped, unplaced: not indexable
+    }
+    if (rec.ref_id < last_ref ||
+        (rec.ref_id == last_ref && rec.pos < last_pos)) {
+      throw FormatError("BAM file is not coordinate-sorted at read '" +
+                        rec.qname + "'");
+    }
+    last_ref = rec.ref_id;
+    last_pos = rec.pos;
+
+    RefIndex& ri = index.refs_[static_cast<size_t>(rec.ref_id)];
+    int32_t end = rec.end_pos();
+    uint32_t bin = static_cast<uint32_t>(bam::reg2bin(rec.pos, end));
+    auto& chunks = ri.bins[bin];
+    // Merge with the previous chunk when contiguous (same or adjacent block).
+    if (!chunks.empty() && chunks.back().vend == vbeg) {
+      chunks.back().vend = vend;
+    } else {
+      chunks.push_back(Chunk{vbeg, vend});
+    }
+
+    size_t w_beg = static_cast<size_t>(rec.pos) >> kLinearShift;
+    size_t w_end = static_cast<size_t>(end - 1) >> kLinearShift;
+    if (ri.linear.size() <= w_end) {
+      ri.linear.resize(w_end + 1, kNoOffset);
+    }
+    for (size_t w = w_beg; w <= w_end; ++w) {
+      ri.linear[w] = std::min(ri.linear[w], vbeg);
+    }
+  }
+  return index;
+}
+
+void BaiIndex::save(const std::string& path) const {
+  std::string out;
+  out += "BAI\1";
+  binio::put_le<int32_t>(out, static_cast<int32_t>(refs_.size()));
+  for (const RefIndex& ri : refs_) {
+    binio::put_le<int32_t>(out, static_cast<int32_t>(ri.bins.size()));
+    for (const auto& [bin, chunks] : ri.bins) {
+      binio::put_le<uint32_t>(out, bin);
+      binio::put_le<int32_t>(out, static_cast<int32_t>(chunks.size()));
+      for (const Chunk& c : chunks) {
+        binio::put_le<uint64_t>(out, c.vbeg);
+        binio::put_le<uint64_t>(out, c.vend);
+      }
+    }
+    binio::put_le<int32_t>(out, static_cast<int32_t>(ri.linear.size()));
+    for (uint64_t v : ri.linear) {
+      binio::put_le<uint64_t>(out, v == kNoOffset ? 0 : v);
+    }
+  }
+  write_file(path, out);
+}
+
+BaiIndex BaiIndex::load(const std::string& path) {
+  std::string data = read_file(path);
+  ByteReader r(data);
+  std::string_view magic = r.read_bytes(4);
+  if (magic != std::string_view("BAI\1", 4)) {
+    throw FormatError("bad BAI magic in '" + path + "'");
+  }
+  BaiIndex index;
+  int32_t n_ref = r.read<int32_t>();
+  if (n_ref < 0) {
+    throw FormatError("negative n_ref in BAI");
+  }
+  index.refs_.resize(static_cast<size_t>(n_ref));
+  for (auto& ri : index.refs_) {
+    int32_t n_bin = r.read<int32_t>();
+    if (n_bin < 0) {
+      throw FormatError("negative bin count in BAI");
+    }
+    for (int32_t b = 0; b < n_bin; ++b) {
+      uint32_t bin = r.read<uint32_t>();
+      int32_t n_chunk = r.read<int32_t>();
+      if (n_chunk < 0 ||
+          static_cast<uint64_t>(n_chunk) * 16 > r.remaining()) {
+        throw FormatError("BAI chunk count exceeds file size");
+      }
+      auto& chunks = ri.bins[bin];
+      chunks.reserve(static_cast<size_t>(n_chunk));
+      for (int32_t c = 0; c < n_chunk; ++c) {
+        Chunk chunk;
+        chunk.vbeg = r.read<uint64_t>();
+        chunk.vend = r.read<uint64_t>();
+        chunks.push_back(chunk);
+      }
+    }
+    int32_t n_intv = r.read<int32_t>();
+    if (n_intv < 0 || static_cast<uint64_t>(n_intv) * 8 > r.remaining()) {
+      throw FormatError("BAI interval count exceeds file size");
+    }
+    ri.linear.reserve(static_cast<size_t>(n_intv));
+    for (int32_t i = 0; i < n_intv; ++i) {
+      uint64_t v = r.read<uint64_t>();
+      ri.linear.push_back(v == 0 ? kNoOffset : v);
+    }
+  }
+  return index;
+}
+
+std::vector<Chunk> BaiIndex::query(int32_t ref_id, int32_t beg,
+                                   int32_t end) const {
+  std::vector<Chunk> out;
+  if (ref_id < 0 || static_cast<size_t>(ref_id) >= refs_.size() ||
+      beg >= end) {
+    return out;
+  }
+  const RefIndex& ri = refs_[static_cast<size_t>(ref_id)];
+
+  // Linear-index lower bound: alignments overlapping [beg, end) cannot
+  // start in a chunk that ends before the window's minimum offset.
+  uint64_t min_voffset = 0;
+  size_t window = static_cast<size_t>(beg) >> kLinearShift;
+  if (window < ri.linear.size() && ri.linear[window] != kNoOffset) {
+    min_voffset = ri.linear[window];
+  }
+
+  std::vector<uint16_t> bins;
+  bam::reg2bins(beg, end, bins);
+  for (uint16_t bin : bins) {
+    auto it = ri.bins.find(bin);
+    if (it == ri.bins.end()) {
+      continue;
+    }
+    for (const Chunk& c : it->second) {
+      if (c.vend > min_voffset) {
+        out.push_back(Chunk{std::max(c.vbeg, min_voffset), c.vend});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Chunk& a, const Chunk& b) {
+    return a.vbeg < b.vbeg;
+  });
+  // Merge overlapping/adjacent chunks.
+  std::vector<Chunk> merged;
+  for (const Chunk& c : out) {
+    if (!merged.empty() && c.vbeg <= merged.back().vend) {
+      merged.back().vend = std::max(merged.back().vend, c.vend);
+    } else {
+      merged.push_back(c);
+    }
+  }
+  return merged;
+}
+
+// ------------------------------------------------------------ region reader
+
+BamRegionReader::BamRegionReader(const std::string& bam_path,
+                                 const BaiIndex& index, int32_t ref_id,
+                                 int32_t beg, int32_t end)
+    : reader_(bam_path),
+      chunks_(index.query(ref_id, beg, end)),
+      ref_id_(ref_id),
+      beg_(beg),
+      end_(end) {}
+
+bool BamRegionReader::next(sam::AlignmentRecord& rec) {
+  while (chunk_ < chunks_.size()) {
+    if (!chunk_open_) {
+      reader_.seek(chunks_[chunk_].vbeg);
+      chunk_open_ = true;
+    }
+    while (reader_.tell() < chunks_[chunk_].vend && reader_.next(rec)) {
+      if (rec.ref_id != ref_id_ || rec.pos >= end_) {
+        // Sorted input: once past the region, this chunk has nothing more.
+        break;
+      }
+      if (rec.pos >= 0 && rec.end_pos() > beg_ && rec.pos < end_) {
+        return true;
+      }
+    }
+    chunk_open_ = false;
+    ++chunk_;
+  }
+  return false;
+}
+
+}  // namespace ngsx::bai

@@ -1,0 +1,85 @@
+// ngsx/formats/bai.h
+//
+// BAI (BAM index) per SAM spec §4.2: the UCSC binning scheme (an R-tree
+// flattened into 37,450 fixed bins per reference) plus a 16 Kbp linear
+// index. Built by scanning a coordinate-sorted BAM; queried with
+// reg2bins + the linear index to obtain candidate chunks of virtual
+// offsets. This is the standard index the paper contrasts its BAIX design
+// against (BAIX indexes the fixed-stride BAMX file instead).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "formats/bam.h"
+
+namespace ngsx::bai {
+
+/// A [beg, end) range of virtual file offsets in the indexed BAM.
+struct Chunk {
+  uint64_t vbeg = 0;
+  uint64_t vend = 0;
+
+  bool operator==(const Chunk&) const = default;
+};
+
+/// In-memory BAI index.
+class BaiIndex {
+ public:
+  /// Scans a coordinate-sorted BAM file and builds its index.
+  /// Throws FormatError if records are observed out of order.
+  static BaiIndex build(const std::string& bam_path);
+
+  /// Binary .bai serialization (magic "BAI\1").
+  void save(const std::string& path) const;
+  static BaiIndex load(const std::string& path);
+
+  /// Candidate chunks possibly containing alignments overlapping
+  /// zero-based [beg, end) on reference `ref_id`, pruned with the linear
+  /// index and merged. Callers must still filter records by actual overlap.
+  std::vector<Chunk> query(int32_t ref_id, int32_t beg, int32_t end) const;
+
+  size_t num_references() const { return refs_.size(); }
+
+  bool operator==(const BaiIndex&) const = default;
+
+ private:
+  struct RefIndex {
+    std::map<uint32_t, std::vector<Chunk>> bins;
+    std::vector<uint64_t> linear;  // 16 Kbp windows -> min voffset
+
+    bool operator==(const RefIndex&) const = default;
+  };
+
+  std::vector<RefIndex> refs_;
+};
+
+/// Iterates the alignments overlapping a region of an indexed BAM:
+/// follows the index's candidate chunks, seeks once per chunk, and
+/// filters records by actual overlap — the samtools-view access path.
+class BamRegionReader {
+ public:
+  /// `index` must belong to the BAM at `bam_path`; `[beg, end)` is
+  /// zero-based half-open on reference `ref_id`.
+  BamRegionReader(const std::string& bam_path, const BaiIndex& index,
+                  int32_t ref_id, int32_t beg, int32_t end);
+
+  const sam::SamHeader& header() const { return reader_.header(); }
+
+  /// Next overlapping record; false when the region is exhausted.
+  bool next(sam::AlignmentRecord& rec);
+
+ private:
+  bam::BamFileReader reader_;
+  std::vector<Chunk> chunks_;
+  size_t chunk_ = 0;
+  bool chunk_open_ = false;
+  int32_t ref_id_;
+  int32_t beg_;
+  int32_t end_;
+};
+
+}  // namespace ngsx::bai

@@ -1,0 +1,88 @@
+// ngsx/formats/bam.h
+//
+// BAM (Binary Alignment/Map) codec per SAM spec v1.4-r985 §4: the
+// little-endian binary record layout layered on BGZF. Provides record-level
+// encode/decode plus streaming reader/writer classes. Like the BamTools
+// library the paper used, the reader is inherently sequential — record
+// boundaries are only discoverable by decoding lengths — which is exactly
+// the constraint that motivates the paper's BAMX preprocessing.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/bgzf.h"
+#include "formats/sam.h"
+
+namespace ngsx::bam {
+
+/// UCSC binning scheme (SAM spec §4.2.1): bin number for the half-open
+/// zero-based interval [beg, end).
+int32_t reg2bin(int32_t beg, int32_t end);
+
+/// Fills `bins` with every bin that may overlap [beg, end) (SAM spec list).
+/// Returns the number of bins.
+size_t reg2bins(int32_t beg, int32_t end, std::vector<uint16_t>& bins);
+
+/// Encodes `rec` as a BAM record (including the leading block_size field)
+/// appended to `out`.
+void encode_record(const sam::AlignmentRecord& rec, std::string& out);
+
+/// Decodes one BAM record from `data` (the record body, *without* the
+/// block_size field) into `rec`.
+void decode_record(std::string_view body, sam::AlignmentRecord& rec);
+
+/// Serializes the BAM header section (magic, text, reference dictionary).
+void encode_header(const sam::SamHeader& header, std::string& out);
+
+/// Streaming BAM writer over BGZF.
+class BamFileWriter {
+ public:
+  BamFileWriter(const std::string& path, const sam::SamHeader& header,
+                int compression_level = 6);
+
+  /// Writes one record and returns the virtual offset where it begins
+  /// (for index construction).
+  uint64_t write(const sam::AlignmentRecord& rec);
+
+  void close();
+
+  /// Compressed bytes emitted so far (excludes the open BGZF block).
+  uint64_t compressed_bytes() const { return out_.compressed_bytes(); }
+
+ private:
+  bgzf::Writer out_;
+  std::string scratch_;
+};
+
+/// Streaming BAM reader over BGZF. Sequential by construction; seek() is
+/// only valid with virtual offsets from tell() or a BAI index.
+class BamFileReader {
+ public:
+  explicit BamFileReader(const std::string& path);
+
+  const sam::SamHeader& header() const { return header_; }
+
+  /// Virtual offset of the next record (valid to seek back to).
+  uint64_t tell() { return in_.tell(); }
+
+  void seek(uint64_t voffset) { in_.seek(voffset); }
+
+  /// Decodes the next record; returns false at EOF.
+  bool next(sam::AlignmentRecord& rec);
+
+  /// Reads the next *raw* record body (without block_size) into `body`;
+  /// returns false at EOF. Lets callers defer or skip decoding.
+  bool next_raw(std::string& body);
+
+ private:
+  bgzf::Reader in_;
+  sam::SamHeader header_;
+  std::string body_;
+};
+
+}  // namespace ngsx::bam

@@ -1,0 +1,168 @@
+// ngsx/formats/bamx.h
+//
+// BAMX (BAM eXtended) and BAIX (BAI eXtended): the two file formats
+// *introduced by the paper* (§III-B). BAMX stores each alignment in a
+// fixed-stride record whose varying-length fields (read name, CIGAR, bases,
+// qualities, aux data) are padded to per-file maxima, so record i lives at
+// a computable offset and can be fetched with one positioned read — this is
+// what makes the parallel conversion phase embarrassingly parallel. BAIX is
+// the companion index: (reference, starting position, record index) entries
+// sorted by position, enabling *partial conversion* of a genomic region via
+// binary search.
+//
+// The per-file maxima are discovered by a measuring pass (the paper's
+// preprocessing); BamxLayout captures them and derives the field offsets.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formats/sam.h"
+#include "util/binio.h"
+
+namespace ngsx::bamx {
+
+/// Fixed per-file field capacities and the derived record stride/offsets.
+struct BamxLayout {
+  uint32_t max_qname = 0;   // name length, excluding NUL
+  uint32_t max_cigar = 0;   // number of CIGAR operations
+  uint32_t max_seq = 0;     // bases
+  uint32_t max_aux = 0;     // encoded aux bytes
+
+  /// Grows the capacities to accommodate `rec` (the measuring pass).
+  void accommodate(const sam::AlignmentRecord& rec);
+
+  /// Merges another layout (used when combining per-rank measurements).
+  void merge(const BamxLayout& other);
+
+  /// True if `rec` fits within the capacities.
+  bool fits(const sam::AlignmentRecord& rec) const;
+
+  // Derived geometry. The fixed-width scalar prefix is 36 bytes; see
+  // bamx.cpp for the field map. Stride is rounded up to 8 bytes so records
+  // stay naturally aligned (the "layout regularity" the paper credits for
+  // its MPI-IO behaviour).
+  uint64_t qname_offset() const { return 36; }
+  uint64_t cigar_offset() const { return qname_offset() + max_qname; }
+  uint64_t seq_offset() const { return cigar_offset() + 4ull * max_cigar; }
+  uint64_t qual_offset() const { return seq_offset() + (max_seq + 1) / 2; }
+  uint64_t aux_offset() const { return qual_offset() + max_seq; }
+  uint64_t stride() const {
+    uint64_t raw = aux_offset() + max_aux;
+    return (raw + 7) / 8 * 8;
+  }
+
+  bool operator==(const BamxLayout&) const = default;
+};
+
+/// Encodes `rec` into exactly `layout.stride()` bytes appended to `out`.
+/// Throws UsageError if `rec` does not fit the layout.
+void encode_record(const sam::AlignmentRecord& rec, const BamxLayout& layout,
+                   std::string& out);
+
+/// Decodes the fixed-stride record at `body` (exactly stride bytes).
+void decode_record(std::string_view body, const BamxLayout& layout,
+                   sam::AlignmentRecord& rec);
+
+/// Extracts only (ref_id, pos) from an encoded record — the BAIX builder's
+/// fast path; avoids decoding the whole alignment.
+std::pair<int32_t, int32_t> peek_ref_pos(std::string_view body);
+
+/// Sequential BAMX writer. The layout must be known up front (from the
+/// measuring pass); records are validated against it.
+class BamxWriter {
+ public:
+  BamxWriter(const std::string& path, const sam::SamHeader& header,
+             const BamxLayout& layout);
+
+  void write(const sam::AlignmentRecord& rec);
+  uint64_t records_written() const { return n_records_; }
+
+  /// Finalizes the record count in the file header and closes.
+  void close();
+
+ private:
+  std::string path_;
+  BamxLayout layout_;
+  std::unique_ptr<OutputFile> out_;
+  std::string scratch_;
+  uint64_t n_records_ = 0;
+  uint64_t count_field_offset_ = 0;
+  bool closed_ = false;
+};
+
+/// Random-access BAMX reader.
+class BamxReader {
+ public:
+  explicit BamxReader(const std::string& path);
+
+  const sam::SamHeader& header() const { return header_; }
+  const BamxLayout& layout() const { return layout_; }
+  uint64_t num_records() const { return n_records_; }
+
+  /// Reads record `i` (random access — the property BAMX exists for).
+  void read(uint64_t i, sam::AlignmentRecord& rec) const;
+
+  /// Reads only (ref_id, pos) of record `i`.
+  std::pair<int32_t, int32_t> read_ref_pos(uint64_t i) const;
+
+  /// Reads records [begin, end) appending to `out` (bulk I/O: one pread).
+  void read_range(uint64_t begin, uint64_t end,
+                  std::vector<sam::AlignmentRecord>& out) const;
+
+ private:
+  InputFile file_;
+  sam::SamHeader header_;
+  BamxLayout layout_;
+  uint64_t n_records_ = 0;
+  uint64_t data_offset_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// BAIX
+// ---------------------------------------------------------------------------
+
+/// One BAIX entry: where an alignment starts and which BAMX record holds it.
+struct BaixEntry {
+  int32_t ref_id = -1;
+  int32_t pos = -1;
+  uint64_t record_index = 0;
+
+  bool operator==(const BaixEntry&) const = default;
+};
+
+/// The BAIX index: entries sorted by (ref_id, pos). Region queries return
+/// the range of entries whose alignment *starts* inside the region, which
+/// is the paper's partial-conversion semantics.
+class BaixIndex {
+ public:
+  BaixIndex() = default;
+
+  /// Scans a BAMX file (ref/pos peeks only) and builds the sorted index.
+  static BaixIndex build(const BamxReader& bamx);
+
+  /// Builds the index from entries collected elsewhere (e.g. during a BAMX
+  /// encode pass); sorts them by (ref_id, pos).
+  static BaixIndex from_entries(std::vector<BaixEntry> entries);
+
+  void save(const std::string& path) const;
+  static BaixIndex load(const std::string& path);
+
+  size_t size() const { return entries_.size(); }
+  const BaixEntry& entry(size_t i) const { return entries_[i]; }
+  const std::vector<BaixEntry>& entries() const { return entries_; }
+
+  /// [first, last) entry indices with ref_id == ref and pos in [beg, end),
+  /// found by binary search (the paper's partial-conversion lookup).
+  std::pair<size_t, size_t> query(int32_t ref, int32_t beg, int32_t end) const;
+
+  bool operator==(const BaixIndex&) const = default;
+
+ private:
+  std::vector<BaixEntry> entries_;
+};
+
+}  // namespace ngsx::bamx

@@ -1,0 +1,285 @@
+#include "formats/bamxz.h"
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "formats/bam.h"
+
+namespace ngsx::bamxz {
+
+using bamx::BamxLayout;
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+namespace {
+
+constexpr std::string_view kMagic{"BAMXZ\1", 6};
+constexpr std::string_view kFooterMagic{"ZXMB", 4};
+constexpr uint16_t kVersion = 1;
+
+/// Raw-deflates `input` appended to `out`; returns compressed size.
+size_t deflate_block(std::string_view input, std::string& out, int level) {
+  z_stream zs{};
+  int rc = deflateInit2(&zs, level, Z_DEFLATED, /*windowBits=*/-15,
+                        /*memLevel=*/8, Z_DEFAULT_STRATEGY);
+  if (rc != Z_OK) {
+    throw FormatError("BAMXZ deflateInit2 failed: " + std::to_string(rc));
+  }
+  size_t bound = deflateBound(&zs, input.size());
+  size_t base = out.size();
+  out.resize(base + bound);
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(input.data()));
+  zs.avail_in = static_cast<uInt>(input.size());
+  zs.next_out = reinterpret_cast<Bytef*>(out.data() + base);
+  zs.avail_out = static_cast<uInt>(bound);
+  rc = deflate(&zs, Z_FINISH);
+  if (rc != Z_STREAM_END) {
+    deflateEnd(&zs);
+    throw FormatError("BAMXZ deflate failed: " + std::to_string(rc));
+  }
+  out.resize(base + zs.total_out);
+  size_t produced = zs.total_out;
+  deflateEnd(&zs);
+  return produced;
+}
+
+/// Raw-inflates exactly `raw_size` bytes into `out` (replaced).
+void inflate_block(std::string_view compressed, size_t raw_size,
+                   std::string& out) {
+  out.resize(raw_size);
+  z_stream zs{};
+  int rc = inflateInit2(&zs, /*windowBits=*/-15);
+  if (rc != Z_OK) {
+    throw FormatError("BAMXZ inflateInit2 failed: " + std::to_string(rc));
+  }
+  zs.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(compressed.data()));
+  zs.avail_in = static_cast<uInt>(compressed.size());
+  zs.next_out = reinterpret_cast<Bytef*>(out.data());
+  zs.avail_out = static_cast<uInt>(raw_size);
+  rc = inflate(&zs, Z_FINISH);
+  bool ok = rc == Z_STREAM_END && zs.total_out == raw_size;
+  inflateEnd(&zs);
+  if (!ok) {
+    throw FormatError("BAMXZ inflate failed or size mismatch");
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- BamxzWriter
+
+BamxzWriter::BamxzWriter(const std::string& path, const SamHeader& header,
+                         const BamxLayout& layout,
+                         uint32_t records_per_block, int compression_level)
+    : path_(path),
+      layout_(layout),
+      records_per_block_(records_per_block),
+      level_(compression_level),
+      out_(std::make_unique<OutputFile>(path)) {
+  NGSX_CHECK_MSG(records_per_block_ >= 1, "records_per_block must be >= 1");
+  std::string head;
+  head += kMagic;
+  binio::put_le<uint16_t>(head, kVersion);
+  binio::put_le<uint32_t>(head, layout.max_qname);
+  binio::put_le<uint32_t>(head, layout.max_cigar);
+  binio::put_le<uint32_t>(head, layout.max_seq);
+  binio::put_le<uint32_t>(head, layout.max_aux);
+  binio::put_le<uint64_t>(head, layout.stride());
+  count_field_offset_ = head.size();
+  binio::put_le<uint64_t>(head, 0);  // n_records, patched on close
+  binio::put_le<uint32_t>(head, records_per_block_);
+  std::string blob;
+  bam::encode_header(header, blob);
+  binio::put_le<uint64_t>(head, blob.size());
+  head += blob;
+  out_->write(head);
+  file_offset_ = head.size();
+  pending_.reserve(records_per_block_ * layout.stride());
+}
+
+void BamxzWriter::write(const AlignmentRecord& rec) {
+  NGSX_CHECK_MSG(!closed_, "write on closed BAMXZ writer");
+  bamx::encode_record(rec, layout_, pending_);
+  ++pending_records_;
+  ++n_records_;
+  if (pending_records_ == records_per_block_) {
+    flush_block();
+  }
+}
+
+void BamxzWriter::flush_block() {
+  if (pending_records_ == 0) {
+    return;
+  }
+  block_offsets_.push_back(file_offset_);
+  std::string frame;
+  binio::put_le<uint32_t>(frame, 0);  // compressed size, patched below
+  binio::put_le<uint32_t>(frame, static_cast<uint32_t>(pending_.size()));
+  size_t compressed = deflate_block(pending_, frame, level_);
+  binio::poke_le<uint32_t>(frame, 0, static_cast<uint32_t>(compressed));
+  out_->write(frame);
+  file_offset_ += frame.size();
+  pending_.clear();
+  pending_records_ = 0;
+}
+
+void BamxzWriter::close() {
+  if (closed_) {
+    return;
+  }
+  flush_block();
+  // Footer: block table + counts + trailer magic.
+  std::string footer;
+  uint64_t table_offset = file_offset_;
+  for (uint64_t off : block_offsets_) {
+    binio::put_le<uint64_t>(footer, off);
+  }
+  binio::put_le<uint64_t>(footer, block_offsets_.size());
+  binio::put_le<uint64_t>(footer, table_offset);
+  footer += kFooterMagic;
+  out_->write(footer);
+  out_->close();
+  closed_ = true;
+  // Patch n_records in the header.
+  std::string count;
+  binio::put_le<uint64_t>(count, n_records_);
+  FILE* f = std::fopen(path_.c_str(), "r+b");
+  bool ok = f != nullptr;
+  if (ok) {
+    ok = std::fseek(f, static_cast<long>(count_field_offset_), SEEK_SET) == 0 &&
+         std::fwrite(count.data(), 1, count.size(), f) == count.size();
+    std::fclose(f);
+  }
+  if (!ok) {
+    throw IoError("failed to finalize BAMXZ record count in '" + path_ + "'");
+  }
+}
+
+// --------------------------------------------------------------- BamxzReader
+
+BamxzReader::BamxzReader(const std::string& path) : file_(path) {
+  // Header.
+  std::string head = file_.read_at(0, 6 + 2 + 16 + 8 + 8 + 4 + 8);
+  ByteReader r(head);
+  if (r.read_bytes(6) != kMagic) {
+    throw FormatError("bad BAMXZ magic in '" + path + "'");
+  }
+  uint16_t version = r.read<uint16_t>();
+  if (version != kVersion) {
+    throw FormatError("unsupported BAMXZ version " + std::to_string(version));
+  }
+  layout_.max_qname = r.read<uint32_t>();
+  layout_.max_cigar = r.read<uint32_t>();
+  layout_.max_seq = r.read<uint32_t>();
+  layout_.max_aux = r.read<uint32_t>();
+  uint64_t stride = r.read<uint64_t>();
+  if (stride != layout_.stride()) {
+    throw FormatError("BAMXZ stride mismatch");
+  }
+  n_records_ = r.read<uint64_t>();
+  records_per_block_ = r.read<uint32_t>();
+  if (records_per_block_ == 0) {
+    throw FormatError("BAMXZ records_per_block is zero");
+  }
+  uint64_t blob_size = r.read<uint64_t>();
+  std::string blob = file_.read_at(head.size(), blob_size);
+  ByteReader hr(blob);
+  if (hr.read_bytes(4) != std::string_view("BAM\1", 4)) {
+    throw FormatError("bad embedded header magic in BAMXZ '" + path + "'");
+  }
+  int32_t l_text = hr.read<int32_t>();
+  std::string text(hr.read_bytes(static_cast<size_t>(l_text)));
+  int32_t n_ref = hr.read<int32_t>();
+  std::vector<sam::Reference> refs;
+  for (int32_t i = 0; i < n_ref; ++i) {
+    int32_t l_name = hr.read<int32_t>();
+    std::string_view name = hr.read_bytes(static_cast<size_t>(l_name));
+    int32_t l_ref = hr.read<int32_t>();
+    refs.push_back(
+        sam::Reference{std::string(name.substr(0, name.size() - 1)), l_ref});
+  }
+  SamHeader from_text = SamHeader::from_text(text);
+  header_ = from_text.references().size() == refs.size()
+                ? std::move(from_text)
+                : SamHeader::from_references(std::move(refs));
+
+  // Footer.
+  constexpr size_t kTrailer = 8 + 8 + 4;  // n_blocks, table_offset, magic
+  if (file_.size() < kTrailer) {
+    throw FormatError("BAMXZ file too small for footer");
+  }
+  std::string trailer = file_.read_at(file_.size() - kTrailer, kTrailer);
+  if (std::string_view(trailer).substr(16, 4) != kFooterMagic) {
+    throw FormatError("bad BAMXZ footer magic in '" + path + "'");
+  }
+  uint64_t n_blocks = binio::get_le<uint64_t>(trailer, 0);
+  uint64_t table_offset = binio::get_le<uint64_t>(trailer, 8);
+  uint64_t expect_blocks =
+      (n_records_ + records_per_block_ - 1) / records_per_block_;
+  if (n_blocks != expect_blocks) {
+    throw FormatError("BAMXZ block count mismatch");
+  }
+  std::string table = file_.read_at(table_offset, n_blocks * 8);
+  if (table.size() != n_blocks * 8) {
+    throw FormatError("truncated BAMXZ block table");
+  }
+  block_offsets_.resize(n_blocks);
+  std::memcpy(block_offsets_.data(), table.data(), table.size());
+  data_end_ = table_offset;
+}
+
+const std::string& BamxzReader::load_block(uint64_t b) {
+  if (cached_block_ == b) {
+    return block_;
+  }
+  NGSX_CHECK_MSG(b < block_offsets_.size(), "BAMXZ block index out of range");
+  uint64_t offset = block_offsets_[b];
+  std::string frame_head = file_.read_at(offset, 8);
+  uint32_t compressed_size = binio::get_le<uint32_t>(frame_head, 0);
+  uint32_t raw_size = binio::get_le<uint32_t>(frame_head, 4);
+  if (raw_size == 0 || raw_size % layout_.stride() != 0 ||
+      raw_size > records_per_block_ * layout_.stride()) {
+    throw FormatError("BAMXZ block raw size not a record multiple");
+  }
+  if (compressed_size > raw_size + (raw_size >> 2) + 1024) {
+    // Deflate never expands beyond a small bound; larger means corruption
+    // (and would be an allocation bomb).
+    throw FormatError("BAMXZ compressed block size implausible");
+  }
+  std::string compressed = file_.read_at(offset + 8, compressed_size);
+  if (compressed.size() != compressed_size) {
+    throw FormatError("truncated BAMXZ block");
+  }
+  inflate_block(compressed, raw_size, block_);
+  cached_block_ = b;
+  return block_;
+}
+
+void BamxzReader::read(uint64_t i, AlignmentRecord& rec) {
+  NGSX_CHECK_MSG(i < n_records_, "BAMXZ record index out of range");
+  const std::string& block = load_block(i / records_per_block_);
+  uint64_t within = i % records_per_block_;
+  uint64_t stride = layout_.stride();
+  if ((within + 1) * stride > block.size()) {
+    throw FormatError("BAMXZ record beyond block payload");
+  }
+  bamx::decode_record(
+      std::string_view(block).substr(within * stride, stride), layout_, rec);
+}
+
+void BamxzReader::read_range(uint64_t begin, uint64_t end,
+                             std::vector<AlignmentRecord>& out) {
+  NGSX_CHECK_MSG(begin <= end && end <= n_records_,
+                 "BAMXZ record range out of bounds");
+  size_t base = out.size();
+  out.resize(base + (end - begin));
+  for (uint64_t i = begin; i < end; ++i) {
+    read(i, out[base + (i - begin)]);
+  }
+}
+
+}  // namespace ngsx::bamxz

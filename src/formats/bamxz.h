@@ -1,0 +1,108 @@
+// ngsx/formats/bamxz.h
+//
+// BAMXZ: block-compressed BAMX. The paper's conclusion names this as
+// future work — "we plan to utilize certain compression techniques during
+// the BAMX/BAIX file generation" — to attack BAMX's padding-driven size
+// amplification while keeping the property the format exists for: random
+// access by record index.
+//
+// Layout: the fixed-stride record stream is cut into blocks of a fixed
+// record count, each block deflate-compressed independently (zero padding
+// compresses extremely well, which is what makes this profitable). A block
+// offset table in the footer maps block index -> compressed offset, so
+// record i costs one table lookup + one block decompression; a one-block
+// cache makes sequential scans touch each block once.
+//
+// File structure:
+//   header:  magic "BAMXZ\1", version u16, layout (4x u32), stride u64,
+//            n_records u64, records_per_block u32,
+//            header_blob_size u64, BAM-style header blob
+//   blocks:  per block: u32 compressed_size, u32 raw_size, deflate data
+//   footer:  u64 offset per block, n_blocks u64,
+//            footer_table_offset u64, magic "ZXMB" (read from file end)
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formats/bamx.h"
+
+namespace ngsx::bamxz {
+
+/// Default records per compression block; chosen so a block of typical
+/// short-read records compresses in one deflate call of a few hundred KB.
+constexpr uint32_t kDefaultRecordsPerBlock = 1024;
+
+/// Sequential BAMXZ writer. Same contract as bamx::BamxWriter: the layout
+/// must be known up front; close() finalizes counts and the block table.
+class BamxzWriter {
+ public:
+  BamxzWriter(const std::string& path, const sam::SamHeader& header,
+              const bamx::BamxLayout& layout,
+              uint32_t records_per_block = kDefaultRecordsPerBlock,
+              int compression_level = 6);
+
+  void write(const sam::AlignmentRecord& rec);
+  uint64_t records_written() const { return n_records_; }
+
+  void close();
+
+ private:
+  void flush_block();
+
+  std::string path_;
+  bamx::BamxLayout layout_;
+  uint32_t records_per_block_;
+  int level_;
+  std::unique_ptr<OutputFile> out_;
+  std::string pending_;   // uncompressed records of the open block
+  uint32_t pending_records_ = 0;
+  std::vector<uint64_t> block_offsets_;
+  uint64_t n_records_ = 0;
+  uint64_t file_offset_ = 0;
+  uint64_t count_field_offset_ = 0;
+  bool closed_ = false;
+};
+
+/// Random-access BAMXZ reader with a one-block cache.
+class BamxzReader {
+ public:
+  explicit BamxzReader(const std::string& path);
+
+  const sam::SamHeader& header() const { return header_; }
+  const bamx::BamxLayout& layout() const { return layout_; }
+  uint64_t num_records() const { return n_records_; }
+  uint32_t records_per_block() const { return records_per_block_; }
+  uint64_t num_blocks() const { return block_offsets_.size(); }
+
+  /// Reads record `i` (random access through the block table).
+  void read(uint64_t i, sam::AlignmentRecord& rec);
+
+  /// Reads records [begin, end), appending to `out`; decompresses each
+  /// covered block once.
+  void read_range(uint64_t begin, uint64_t end,
+                  std::vector<sam::AlignmentRecord>& out);
+
+  /// Compressed bytes on disk (for the compression-ratio ablation).
+  uint64_t compressed_size() const { return file_.size(); }
+
+ private:
+  /// Ensures `block_` holds block `b`; returns its record slice buffer.
+  const std::string& load_block(uint64_t b);
+
+  InputFile file_;
+  sam::SamHeader header_;
+  bamx::BamxLayout layout_;
+  uint64_t n_records_ = 0;
+  uint32_t records_per_block_ = 0;
+  std::vector<uint64_t> block_offsets_;
+  uint64_t data_end_ = 0;  // offset just past the last block
+
+  std::string block_;          // decompressed cached block
+  uint64_t cached_block_ = ~0ull;
+};
+
+}  // namespace ngsx::bamxz

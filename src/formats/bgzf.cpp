@@ -1,0 +1,328 @@
+#include "formats/bgzf.h"
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace ngsx::bgzf {
+
+namespace {
+
+// Fixed 12-byte gzip header prefix for a BGZF member (before BSIZE):
+//   ID1 ID2 CM FLG      MTIME(4)    XFL OS  XLEN(2)
+//   1f  8b  08 04       00000000    00  ff  0600
+// then the extra subfield: 'B' 'C' 02 00 BSIZE(2).
+constexpr size_t kHeaderSize = 18;
+constexpr size_t kFooterSize = 8;  // CRC32 + ISIZE
+
+const unsigned char kEofBlock[28] = {
+    0x1f, 0x8b, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff,
+    0x06, 0x00, 0x42, 0x43, 0x02, 0x00, 0x1b, 0x00, 0x03, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+
+[[noreturn]] void zlib_error(const char* op, int code) {
+  throw FormatError(std::string("zlib ") + op + " failed with code " +
+                    std::to_string(code));
+}
+
+}  // namespace
+
+std::string_view eof_marker() {
+  return std::string_view(reinterpret_cast<const char*>(kEofBlock),
+                          sizeof(kEofBlock));
+}
+
+void compress_block(std::string_view input, std::string& out, int level) {
+  NGSX_CHECK_MSG(input.size() <= kMaxBlockInput,
+                 "BGZF block input too large");
+  // Raw deflate (windowBits = -15): we write the gzip wrapper ourselves so
+  // we can place the BC extra field.
+  z_stream zs{};
+  int rc = deflateInit2(&zs, level, Z_DEFLATED, /*windowBits=*/-15,
+                        /*memLevel=*/8, Z_DEFAULT_STRATEGY);
+  if (rc != Z_OK) {
+    zlib_error("deflateInit2", rc);
+  }
+  size_t bound = deflateBound(&zs, input.size());
+  std::string body(bound, '\0');
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(input.data()));
+  zs.avail_in = static_cast<uInt>(input.size());
+  zs.next_out = reinterpret_cast<Bytef*>(body.data());
+  zs.avail_out = static_cast<uInt>(body.size());
+  rc = deflate(&zs, Z_FINISH);
+  if (rc != Z_STREAM_END) {
+    deflateEnd(&zs);
+    zlib_error("deflate", rc);
+  }
+  body.resize(zs.total_out);
+  deflateEnd(&zs);
+
+  size_t total = kHeaderSize + body.size() + kFooterSize;
+  if (total - 1 > 0xFFFF) {
+    throw FormatError("BGZF compressed block exceeds 64 KiB");
+  }
+
+  // Header.
+  static const unsigned char prefix[16] = {0x1f, 0x8b, 0x08, 0x04, 0x00, 0x00,
+                                           0x00, 0x00, 0x00, 0xff, 0x06, 0x00,
+                                           0x42, 0x43, 0x02, 0x00};
+  out.append(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  binio::put_le<uint16_t>(out, static_cast<uint16_t>(total - 1));  // BSIZE
+  out += body;
+
+  uint32_t crc = static_cast<uint32_t>(
+      crc32(crc32(0L, Z_NULL, 0),
+            reinterpret_cast<const Bytef*>(input.data()),
+            static_cast<uInt>(input.size())));
+  binio::put_le<uint32_t>(out, crc);
+  binio::put_le<uint32_t>(out, static_cast<uint32_t>(input.size()));
+}
+
+size_t peek_block_size(std::string_view data) {
+  if (data.size() < kHeaderSize) {
+    throw FormatError("truncated BGZF block header");
+  }
+  const auto* b = reinterpret_cast<const unsigned char*>(data.data());
+  if (b[0] != 0x1f || b[1] != 0x8b || b[2] != 0x08 || (b[3] & 0x04) == 0) {
+    throw FormatError("bad BGZF magic");
+  }
+  uint16_t xlen = binio::get_le<uint16_t>(data, 10);
+  // Scan extra subfields for SI1='B', SI2='C'.
+  size_t pos = 12;
+  size_t extra_end = 12 + xlen;
+  if (extra_end > data.size()) {
+    throw FormatError("truncated BGZF extra field");
+  }
+  while (pos + 4 <= extra_end) {
+    uint8_t si1 = static_cast<uint8_t>(data[pos]);
+    uint8_t si2 = static_cast<uint8_t>(data[pos + 1]);
+    uint16_t slen = binio::get_le<uint16_t>(data, pos + 2);
+    if (si1 == 'B' && si2 == 'C') {
+      if (slen != 2) {
+        throw FormatError("BGZF BC subfield has wrong length");
+      }
+      uint16_t bsize = binio::get_le<uint16_t>(data, pos + 4);
+      return static_cast<size_t>(bsize) + 1;
+    }
+    pos += 4 + slen;
+  }
+  throw FormatError("BGZF BC subfield not found");
+}
+
+size_t decompress_block(std::string_view block, std::string& out) {
+  size_t total = peek_block_size(block);
+  if (block.size() != total) {
+    throw FormatError("BGZF block size mismatch: header says " +
+                      std::to_string(total) + ", got " +
+                      std::to_string(block.size()));
+  }
+  uint16_t xlen = binio::get_le<uint16_t>(block, 10);
+  size_t body_begin = 12 + xlen;
+  if (total < body_begin + kFooterSize) {
+    throw FormatError("BGZF block too small");
+  }
+  size_t body_size = total - body_begin - kFooterSize;
+  uint32_t expect_crc = binio::get_le<uint32_t>(block, total - 8);
+  uint32_t isize = binio::get_le<uint32_t>(block, total - 4);
+
+  size_t out_start = out.size();
+  out.resize(out_start + isize);
+
+  z_stream zs{};
+  int rc = inflateInit2(&zs, /*windowBits=*/-15);
+  if (rc != Z_OK) {
+    zlib_error("inflateInit2", rc);
+  }
+  zs.next_in = reinterpret_cast<Bytef*>(
+      const_cast<char*>(block.data() + body_begin));
+  zs.avail_in = static_cast<uInt>(body_size);
+  zs.next_out = reinterpret_cast<Bytef*>(out.data() + out_start);
+  zs.avail_out = static_cast<uInt>(isize);
+  rc = inflate(&zs, Z_FINISH);
+  if (rc != Z_STREAM_END || zs.total_out != isize) {
+    inflateEnd(&zs);
+    throw FormatError("BGZF inflate failed or ISIZE mismatch");
+  }
+  inflateEnd(&zs);
+
+  uint32_t crc = static_cast<uint32_t>(
+      crc32(crc32(0L, Z_NULL, 0),
+            reinterpret_cast<const Bytef*>(out.data() + out_start),
+            static_cast<uInt>(isize)));
+  if (crc != expect_crc) {
+    throw FormatError("BGZF CRC mismatch");
+  }
+  return isize;
+}
+
+// -------------------------------------------------------------------- Writer
+
+Writer::Writer(const std::string& path, int level)
+    : out_(std::make_unique<OutputFile>(path)), level_(level) {
+  pending_.reserve(kMaxBlockInput);
+}
+
+Writer::~Writer() {
+  try {
+    close();
+  } catch (const Error&) {
+    // Callers that need error reporting call close() explicitly.
+  }
+}
+
+void Writer::write(std::string_view data) {
+  NGSX_CHECK_MSG(!closed_, "write on closed BGZF writer");
+  while (!data.empty()) {
+    size_t room = kMaxBlockInput - pending_.size();
+    size_t take = std::min(room, data.size());
+    pending_.append(data.data(), take);
+    data.remove_prefix(take);
+    if (pending_.size() == kMaxBlockInput) {
+      emit_block();
+    }
+  }
+}
+
+uint64_t Writer::tell() const {
+  return make_voffset(compressed_offset_,
+                      static_cast<uint32_t>(pending_.size()));
+}
+
+void Writer::flush_block() {
+  if (!pending_.empty()) {
+    emit_block();
+  }
+}
+
+void Writer::emit_block() {
+  scratch_.clear();
+  compress_block(pending_, scratch_, level_);
+  out_->write(scratch_);
+  compressed_offset_ += scratch_.size();
+  pending_.clear();
+}
+
+void Writer::close() {
+  if (closed_) {
+    return;
+  }
+  flush_block();
+  out_->write(eof_marker());
+  compressed_offset_ += eof_marker().size();
+  out_->close();
+  closed_ = true;
+}
+
+// -------------------------------------------------------------------- Reader
+
+Reader::Reader(const std::string& path) : file_(path) {}
+
+bool Reader::load_block(uint64_t coffset) {
+  if (coffset >= file_.size()) {
+    have_block_ = false;
+    return false;
+  }
+  char header[kHeaderSize];
+  size_t got = file_.pread(header, sizeof(header), coffset);
+  if (got < sizeof(header)) {
+    throw FormatError("truncated BGZF block header at offset " +
+                      std::to_string(coffset));
+  }
+  size_t total = peek_block_size(std::string_view(header, sizeof(header)));
+  std::string raw = file_.read_at(coffset, total);
+  if (raw.size() != total) {
+    throw FormatError("truncated BGZF block at offset " +
+                      std::to_string(coffset));
+  }
+  block_.clear();
+  decompress_block(raw, block_);
+  block_coffset_ = coffset;
+  block_csize_ = total;
+  block_pos_ = 0;
+  have_block_ = true;
+  return true;
+}
+
+size_t Reader::read(void* buf, size_t n) {
+  char* out = static_cast<char*>(buf);
+  size_t total = 0;
+  while (total < n) {
+    if (!have_block_ || block_pos_ >= block_.size()) {
+      uint64_t next =
+          have_block_ ? block_coffset_ + block_csize_ : block_coffset_;
+      // Skip empty blocks (e.g. the EOF marker) but keep scanning: BGZF
+      // permits empty blocks mid-stream.
+      bool loaded = load_block(next);
+      while (loaded && block_.empty()) {
+        loaded = load_block(block_coffset_ + block_csize_);
+      }
+      if (!loaded) {
+        break;
+      }
+    }
+    size_t take = std::min(n - total, block_.size() - block_pos_);
+    std::memcpy(out + total, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    total += take;
+  }
+  return total;
+}
+
+void Reader::read_exact(void* buf, size_t n) {
+  size_t got = read(buf, n);
+  if (got != n) {
+    throw FormatError("truncated BGZF stream: wanted " + std::to_string(n) +
+                      " bytes, got " + std::to_string(got));
+  }
+}
+
+uint64_t Reader::tell() const {
+  if (!have_block_) {
+    return make_voffset(block_coffset_, 0);
+  }
+  if (block_pos_ >= block_.size()) {
+    return make_voffset(block_coffset_ + block_csize_, 0);
+  }
+  return make_voffset(block_coffset_, static_cast<uint32_t>(block_pos_));
+}
+
+void Reader::seek(uint64_t voffset) {
+  uint64_t coffset = voffset_coffset(voffset);
+  uint32_t uoffset = voffset_uoffset(voffset);
+  if (!have_block_ || block_coffset_ != coffset) {
+    if (!load_block(coffset)) {
+      if (uoffset == 0) {
+        // Seeking to EOF is legal.
+        block_coffset_ = coffset;
+        have_block_ = false;
+        return;
+      }
+      throw FormatError("BGZF seek past end of file");
+    }
+  }
+  if (uoffset > block_.size()) {
+    throw FormatError("BGZF seek offset beyond block payload");
+  }
+  block_pos_ = uoffset;
+}
+
+bool Reader::eof() {
+  if (have_block_ && block_pos_ < block_.size()) {
+    return false;
+  }
+  // Peek: try to advance to the next non-empty block without consuming.
+  uint64_t next = have_block_ ? block_coffset_ + block_csize_ : block_coffset_;
+  while (next < file_.size()) {
+    if (!load_block(next)) {
+      return true;
+    }
+    if (!block_.empty()) {
+      return false;
+    }
+    next = block_coffset_ + block_csize_;
+  }
+  return true;
+}
+
+}  // namespace ngsx::bgzf

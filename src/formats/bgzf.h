@@ -1,0 +1,136 @@
+// ngsx/formats/bgzf.h
+//
+// BGZF (Blocked GNU Zip Format) codec, implemented from scratch on zlib's
+// raw-deflate primitives per SAM spec §4.1. BGZF is the block compression
+// layer underneath BAM: a BGZF file is a sequence of gzip members, each at
+// most 64 KiB of uncompressed payload, carrying the compressed block size in
+// a gzip extra field ("BC") so readers can hop between blocks without
+// inflating them. This is what makes BAM indexable: a 64-bit *virtual file
+// offset* ((compressed_block_offset << 16) | within_block_offset) addresses
+// any byte.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/binio.h"
+#include "util/common.h"
+
+namespace ngsx::bgzf {
+
+/// Maximum uncompressed payload per BGZF block. The spec caps the
+/// *compressed* block at 64 KiB; capping input at 0xff00 bytes leaves room
+/// for incompressible data plus headers, matching htslib's choice.
+constexpr size_t kMaxBlockInput = 0xff00;
+
+/// The 28-byte empty block that marks end-of-file (SAM spec §4.1.2).
+std::string_view eof_marker();
+
+/// Packs a virtual offset from a compressed block start and an offset into
+/// the uncompressed block payload.
+constexpr uint64_t make_voffset(uint64_t compressed_offset,
+                                uint32_t within_block) {
+  return (compressed_offset << 16) | (within_block & 0xFFFFu);
+}
+constexpr uint64_t voffset_coffset(uint64_t v) { return v >> 16; }
+constexpr uint32_t voffset_uoffset(uint64_t v) {
+  return static_cast<uint32_t>(v & 0xFFFFu);
+}
+
+/// Compresses `input` (<= kMaxBlockInput bytes) into one complete BGZF
+/// block appended to `out`. `level` is a zlib level (1-9, or 0 for stored).
+void compress_block(std::string_view input, std::string& out, int level = 6);
+
+/// Inspects the BGZF block header at `data` and returns the total size of
+/// the compressed block (BSIZE+1). Throws FormatError if the magic or the
+/// BC extra field is wrong. `data` must hold at least 18 bytes.
+size_t peek_block_size(std::string_view data);
+
+/// Inflates the single complete BGZF block at `block` (exactly the bytes of
+/// one gzip member) and appends the payload to `out`. Verifies CRC32 and
+/// ISIZE. Returns the payload size.
+size_t decompress_block(std::string_view block, std::string& out);
+
+/// Streaming BGZF writer: buffers appended bytes and emits full blocks.
+/// Appends the EOF marker on close().
+class Writer {
+ public:
+  explicit Writer(const std::string& path, int level = 6);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void write(std::string_view data);
+  void write(const void* data, size_t n) {
+    write(std::string_view(static_cast<const char*>(data), n));
+  }
+
+  /// Virtual offset where the *next* byte written will land. Flushing rules
+  /// mirror BGZF semantics: the compressed offset is the file position of
+  /// the currently open block.
+  uint64_t tell() const;
+
+  /// Ends the current block (if non-empty) so that tell() moves to a fresh
+  /// block boundary; used by the BAM writer to align the header.
+  void flush_block();
+
+  void close();
+
+  /// Compressed bytes emitted so far (excludes the open block's buffer).
+  uint64_t compressed_bytes() const { return compressed_offset_; }
+
+ private:
+  void emit_block();
+
+  std::unique_ptr<OutputFile> out_;
+  std::string pending_;      // uncompressed bytes of the open block
+  std::string scratch_;      // compressed block scratch
+  uint64_t compressed_offset_ = 0;  // file offset of the open block
+  int level_;
+  bool closed_ = false;
+};
+
+/// Random-access BGZF reader with a one-block cache. Supports sequential
+/// read() and seek() to a virtual offset; BAM layers record framing on top.
+class Reader {
+ public:
+  explicit Reader(const std::string& path);
+
+  /// Reads up to `n` decompressed bytes; returns bytes read (short only at
+  /// EOF).
+  size_t read(void* buf, size_t n);
+
+  /// Reads exactly `n` bytes or throws FormatError (truncated file).
+  void read_exact(void* buf, size_t n);
+
+  /// Current virtual offset (next byte to be read).
+  uint64_t tell() const;
+
+  /// Repositions to a virtual offset previously obtained from tell() (or an
+  /// index).
+  void seek(uint64_t voffset);
+
+  /// True when the underlying file is exhausted.
+  bool eof();
+
+  /// Total compressed file size.
+  uint64_t compressed_size() const { return file_.size(); }
+
+ private:
+  /// Loads the block starting at compressed offset `coffset` into the cache.
+  /// Returns false at physical EOF.
+  bool load_block(uint64_t coffset);
+
+  InputFile file_;
+  std::string block_;              // decompressed payload of cached block
+  uint64_t block_coffset_ = 0;     // compressed offset of cached block
+  size_t block_csize_ = 0;         // compressed size of cached block
+  size_t block_pos_ = 0;           // read cursor within block_
+  bool have_block_ = false;
+};
+
+}  // namespace ngsx::bgzf

@@ -1,0 +1,89 @@
+// ngsx/formats/bgzf_parallel.h
+//
+// Multi-threaded BGZF writer, htslib's `--threads` idea: BGZF blocks are
+// independent gzip members, so compression — the dominant CPU cost of
+// writing BAM — parallelizes perfectly. Input is cut into the same
+// fixed-size blocks as the sequential bgzf::Writer and handed to a worker
+// pool; a dedicated writer thread commits compressed blocks strictly in
+// sequence order, so the output file is byte-identical to the sequential
+// writer's (deflate is deterministic at a fixed level), just produced
+// with more cores.
+//
+// tell() / virtual offsets are intentionally absent: compressed offsets
+// only materialize after compression, and the bulk-output paths this
+// writer serves (converter part files) never need them. Use bgzf::Writer
+// when building indexes.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/binio.h"
+#include "util/common.h"
+
+namespace ngsx::bgzf {
+
+class ParallelWriter {
+ public:
+  /// `threads` compression workers (>= 1) plus one internal writer thread.
+  ParallelWriter(const std::string& path, int threads, int level = 6);
+  ~ParallelWriter();
+
+  ParallelWriter(const ParallelWriter&) = delete;
+  ParallelWriter& operator=(const ParallelWriter&) = delete;
+
+  void write(std::string_view data);
+  void write(const void* data, size_t n) {
+    write(std::string_view(static_cast<const char*>(data), n));
+  }
+
+  /// Ends the current block early (a sequence point in the block stream).
+  void flush_block();
+
+  /// Drains the pipeline, appends the EOF marker, closes the file, and
+  /// rethrows the first worker/writer error if any occurred.
+  void close();
+
+ private:
+  struct Job {
+    uint64_t seq = 0;
+    std::string raw;
+  };
+
+  void submit_pending();
+  void worker_loop();
+  void writer_loop();
+  void record_error();
+
+  std::string path_;
+  int level_;
+  std::unique_ptr<OutputFile> out_;
+
+  std::string pending_;
+  uint64_t next_seq_ = 0;       // next block sequence number to submit
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;      // workers wait here
+  std::condition_variable done_cv_;     // writer waits here
+  std::condition_variable space_cv_;    // producer backpressure
+  std::deque<Job> jobs_;
+  std::map<uint64_t, std::string> completed_;  // seq -> compressed block
+  uint64_t write_seq_ = 0;      // next block the writer thread commits
+  bool shutting_down_ = false;
+  std::exception_ptr error_;
+
+  std::vector<std::thread> workers_;
+  std::thread writer_;
+  bool closed_ = false;
+};
+
+}  // namespace ngsx::bgzf

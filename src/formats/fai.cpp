@@ -1,0 +1,257 @@
+#include "formats/fai.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/strutil.h"
+
+namespace ngsx::fai {
+
+FaiIndex FaiIndex::build(const std::string& fasta_path) {
+  // Stream the file in chunks, tracking line structure per sequence.
+  InputFile file(fasta_path);
+  FaiIndex index;
+
+  FaiEntry current;
+  bool in_sequence = false;
+  int32_t last_line_bases = -1;   // bases on the previous sequence line
+  bool last_line_was_short = false;
+
+  auto finish = [&]() {
+    if (in_sequence) {
+      index.entries_.push_back(current);
+      in_sequence = false;
+    }
+  };
+
+  uint64_t pos = 0;
+  std::string buffer;
+  size_t scan = 0;
+  uint64_t buffer_base = 0;
+  auto refill = [&]() {
+    buffer.erase(0, scan);
+    buffer_base += scan;
+    scan = 0;
+    std::string chunk = file.read_at(buffer_base + buffer.size(), 1 << 20);
+    if (chunk.empty()) {
+      return false;
+    }
+    buffer += chunk;
+    return true;
+  };
+  (void)pos;
+
+  while (true) {
+    size_t nl = buffer.find('\n', scan);
+    if (nl == std::string::npos) {
+      if (refill()) {
+        continue;
+      }
+      // Final line without newline.
+      if (scan >= buffer.size()) {
+        break;
+      }
+      nl = buffer.size();
+    }
+    std::string_view line(buffer.data() + scan, nl - scan);
+    uint64_t line_offset = buffer_base + scan;
+    size_t line_bytes_incl = nl - scan + (nl < buffer.size() ? 1 : 0);
+    scan = std::min(nl + 1, buffer.size());
+
+    if (!line.empty() && line[0] == '>') {
+      finish();
+      current = FaiEntry{};
+      std::string_view name = line.substr(1);
+      size_t ws = name.find_first_of(" \t");
+      if (ws != std::string_view::npos) {
+        name = name.substr(0, ws);
+      }
+      if (name.empty()) {
+        throw FormatError("FASTA record with empty name in '" + fasta_path +
+                          "'");
+      }
+      current.name = std::string(name);
+      current.offset = line_offset + line.size() + 1;
+      in_sequence = true;
+      last_line_bases = -1;
+      last_line_was_short = false;
+      continue;
+    }
+    if (!in_sequence) {
+      if (strutil::trim(line).empty()) {
+        continue;  // leading blank lines
+      }
+      throw FormatError("sequence data before any '>' header in '" +
+                        fasta_path + "'");
+    }
+    if (line.empty()) {
+      // Blank line ends the sequence body (next non-blank must be '>').
+      last_line_was_short = true;
+      continue;
+    }
+    if (last_line_was_short) {
+      throw FormatError(
+          "non-uniform line lengths in FASTA sequence '" + current.name +
+          "' (faidx requires equal-length lines)");
+    }
+    if (current.length == 0) {
+      current.line_bases = static_cast<int32_t>(line.size());
+      current.line_bytes = static_cast<int32_t>(line_bytes_incl);
+    } else if (static_cast<int32_t>(line.size()) > current.line_bases ||
+               last_line_bases != current.line_bases) {
+      throw FormatError(
+          "non-uniform line lengths in FASTA sequence '" + current.name +
+          "'");
+    }
+    if (static_cast<int32_t>(line.size()) < current.line_bases) {
+      last_line_was_short = true;  // allowed only as the final line
+    }
+    last_line_bases = static_cast<int32_t>(line.size());
+    current.length += static_cast<int64_t>(line.size());
+  }
+  finish();
+  index.index_names();
+  return index;
+}
+
+void FaiIndex::save(const std::string& path) const {
+  std::string out;
+  for (const FaiEntry& e : entries_) {
+    out += e.name;
+    out += '\t';
+    strutil::append_int(out, e.length);
+    out += '\t';
+    strutil::append_uint(out, e.offset);
+    out += '\t';
+    strutil::append_int(out, e.line_bases);
+    out += '\t';
+    strutil::append_int(out, e.line_bytes);
+    out += '\n';
+  }
+  write_file(path, out);
+}
+
+FaiIndex FaiIndex::load(const std::string& path) {
+  FaiIndex index;
+  std::string data = read_file(path);
+  std::vector<std::string_view> fields;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t nl = data.find('\n', pos);
+    size_t end = nl == std::string::npos ? data.size() : nl;
+    std::string_view line(data.data() + pos, end - pos);
+    pos = nl == std::string::npos ? data.size() : nl + 1;
+    if (strutil::trim(line).empty()) {
+      continue;
+    }
+    strutil::split(line, '\t', fields);
+    if (fields.size() < 5) {
+      throw FormatError("FAI line with fewer than 5 columns");
+    }
+    FaiEntry e;
+    e.name = std::string(fields[0]);
+    e.length = strutil::parse_int<int64_t>(fields[1], "fai length");
+    e.offset = strutil::parse_int<uint64_t>(fields[2], "fai offset");
+    e.line_bases = strutil::parse_int<int32_t>(fields[3], "fai linebases");
+    e.line_bytes = strutil::parse_int<int32_t>(fields[4], "fai linebytes");
+    if (e.length < 0 || e.line_bases <= 0 || e.line_bytes <= e.line_bases) {
+      throw FormatError("implausible FAI geometry for '" + e.name + "'");
+    }
+    index.entries_.push_back(std::move(e));
+  }
+  index.index_names();
+  return index;
+}
+
+void FaiIndex::index_names() {
+  by_name_.clear();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!by_name_.emplace(entries_[i].name, i).second) {
+      throw FormatError("duplicate FASTA sequence name '" +
+                        entries_[i].name + "'");
+    }
+  }
+}
+
+const FaiEntry* FaiIndex::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : &entries_[it->second];
+}
+
+// -------------------------------------------------------------- IndexedFasta
+
+IndexedFasta::IndexedFasta(const std::string& fasta_path)
+    : file_(fasta_path) {
+  const std::string fai_path = fasta_path + ".fai";
+  std::error_code ec;
+  if (std::filesystem::exists(fai_path, ec) && !ec) {
+    index_ = FaiIndex::load(fai_path);
+  } else {
+    index_ = FaiIndex::build(fasta_path);
+  }
+}
+
+std::string IndexedFasta::fetch(std::string_view name, int64_t beg,
+                                int64_t end) const {
+  const FaiEntry* entry = index_.find(name);
+  if (entry == nullptr) {
+    throw UsageError("unknown FASTA sequence '" + std::string(name) + "'");
+  }
+  beg = std::clamp<int64_t>(beg, 0, entry->length);
+  end = std::clamp<int64_t>(end, beg, entry->length);
+  if (beg == end) {
+    return {};
+  }
+  // Byte range covering the requested bases, including the newlines.
+  int64_t first_line = beg / entry->line_bases;
+  int64_t last_line = (end - 1) / entry->line_bases;
+  uint64_t byte_beg = entry->offset +
+                      static_cast<uint64_t>(first_line) * entry->line_bytes +
+                      static_cast<uint64_t>(beg % entry->line_bases);
+  uint64_t byte_end = entry->offset +
+                      static_cast<uint64_t>(last_line) * entry->line_bytes +
+                      static_cast<uint64_t>((end - 1) % entry->line_bases) +
+                      1;
+  std::string raw = file_.read_at(byte_beg, byte_end - byte_beg);
+  std::string out;
+  out.reserve(static_cast<size_t>(end - beg));
+  for (char c : raw) {
+    if (c != '\n' && c != '\r') {
+      out += c;
+    }
+  }
+  if (out.size() != static_cast<size_t>(end - beg)) {
+    throw FormatError("FASTA fetch size mismatch for '" + std::string(name) +
+                      "' (stale .fai?)");
+  }
+  return out;
+}
+
+std::string IndexedFasta::fetch_all(std::string_view name) const {
+  const FaiEntry* entry = index_.find(name);
+  if (entry == nullptr) {
+    throw UsageError("unknown FASTA sequence '" + std::string(name) + "'");
+  }
+  return fetch(name, 0, entry->length);
+}
+
+double gc_fraction(std::string_view seq) {
+  int64_t gc = 0;
+  int64_t acgt = 0;
+  for (char c : seq) {
+    switch (c) {
+      case 'G': case 'g': case 'C': case 'c':
+        ++gc;
+        ++acgt;
+        break;
+      case 'A': case 'a': case 'T': case 't':
+        ++acgt;
+        break;
+      default:
+        break;
+    }
+  }
+  return acgt == 0 ? 0.0 : static_cast<double>(gc) / acgt;
+}
+
+}  // namespace ngsx::fai

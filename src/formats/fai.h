@@ -1,0 +1,88 @@
+// ngsx/formats/fai.h
+//
+// FASTA indexing (.fai, the samtools-faidx format) and random-access
+// FASTA reading. The reference genome enters the paper's pipeline through
+// the aligner, but downstream consumers of the converter's regional
+// outputs routinely need the underlying reference bases for the same
+// windows (GC content of called peaks, variant context, ...), so the
+// substrate is provided: a five-column .fai (name, length, byte offset of
+// the sequence, bases per line, bytes per line) and a reader that fetches
+// any [beg, end) slice with one positioned read per line group.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/binio.h"
+
+namespace ngsx::fai {
+
+/// One .fai row.
+struct FaiEntry {
+  std::string name;
+  int64_t length = 0;      // bases
+  uint64_t offset = 0;     // file offset of the first sequence byte
+  int32_t line_bases = 0;  // bases per full line
+  int32_t line_bytes = 0;  // bytes per line including the newline
+
+  bool operator==(const FaiEntry&) const = default;
+};
+
+/// The index.
+class FaiIndex {
+ public:
+  FaiIndex() = default;
+
+  /// Scans a FASTA file and builds its index. Requires uniform line
+  /// lengths within each sequence (the faidx precondition); throws
+  /// FormatError otherwise.
+  static FaiIndex build(const std::string& fasta_path);
+
+  /// Tab-separated .fai text serialization (samtools-compatible columns).
+  void save(const std::string& path) const;
+  static FaiIndex load(const std::string& path);
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<FaiEntry>& entries() const { return entries_; }
+
+  /// Entry for `name`, or nullptr.
+  const FaiEntry* find(std::string_view name) const;
+
+  bool operator==(const FaiIndex&) const = default;
+
+ private:
+  void index_names();
+
+  std::vector<FaiEntry> entries_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+/// Random-access FASTA reader over a built or loaded index.
+class IndexedFasta {
+ public:
+  /// Opens `fasta_path`; loads `fasta_path + ".fai"` if present, else
+  /// builds the index in memory.
+  explicit IndexedFasta(const std::string& fasta_path);
+
+  const FaiIndex& index() const { return index_; }
+
+  /// Bases [beg, end) of sequence `name` (0-based half-open, clamped to
+  /// the sequence length). Throws UsageError for unknown names.
+  std::string fetch(std::string_view name, int64_t beg, int64_t end) const;
+
+  /// Whole sequence.
+  std::string fetch_all(std::string_view name) const;
+
+ private:
+  InputFile file_;
+  FaiIndex index_;
+};
+
+/// GC fraction of a sequence slice (N bases excluded from the
+/// denominator); 0 when no ACGT bases are present.
+double gc_fraction(std::string_view seq);
+
+}  // namespace ngsx::fai

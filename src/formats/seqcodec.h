@@ -1,0 +1,115 @@
+// ngsx/formats/seqcodec.h
+//
+// Shared 4-bit nucleotide packing/unpacking for the BAM and BAMX record
+// codecs (SAM spec table "=ACMGRSVTWYHKDBN"). Decoding is the hottest loop
+// in the binary read paths, so unpacking uses a 256-entry byte -> two-char
+// table rather than per-nibble branching; this is what makes reading the
+// binary representations faster than re-parsing SAM text, the premise of
+// the paper's preprocessing optimization.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ngsx::seqcodec {
+
+inline constexpr std::string_view kNibbles = "=ACMGRSVTWYHKDBN";
+
+/// 4-bit code for a base character (case-insensitive; unknown -> N = 15).
+inline uint8_t base_to_nibble(char base) {
+  switch (base) {
+    case '=': return 0;
+    case 'A': case 'a': return 1;
+    case 'C': case 'c': return 2;
+    case 'M': case 'm': return 3;
+    case 'G': case 'g': return 4;
+    case 'R': case 'r': return 5;
+    case 'S': case 's': return 6;
+    case 'V': case 'v': return 7;
+    case 'T': case 't': return 8;
+    case 'W': case 'w': return 9;
+    case 'Y': case 'y': return 10;
+    case 'H': case 'h': return 11;
+    case 'K': case 'k': return 12;
+    case 'D': case 'd': return 13;
+    case 'B': case 'b': return 14;
+    default: return 15;
+  }
+}
+
+namespace detail {
+inline const std::array<std::array<char, 2>, 256>& byte_table() {
+  static const std::array<std::array<char, 2>, 256> table = [] {
+    std::array<std::array<char, 2>, 256> t{};
+    for (size_t b = 0; b < 256; ++b) {
+      t[b][0] = kNibbles[b >> 4];
+      t[b][1] = kNibbles[b & 0xF];
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Packs `seq` as 4-bit codes appended to `out` ((len+1)/2 bytes).
+inline void pack_seq(std::string_view seq, std::string& out) {
+  size_t base = out.size();
+  out.resize(base + (seq.size() + 1) / 2);
+  char* dst = out.data() + base;
+  size_t full = seq.size() / 2;
+  for (size_t i = 0; i < full; ++i) {
+    dst[i] = static_cast<char>((base_to_nibble(seq[2 * i]) << 4) |
+                               base_to_nibble(seq[2 * i + 1]));
+  }
+  if (seq.size() % 2 == 1) {
+    dst[full] = static_cast<char>(base_to_nibble(seq.back()) << 4);
+  }
+}
+
+/// Packs directly into a caller-provided buffer of (len+1)/2 bytes.
+inline void pack_seq_into(std::string_view seq, char* dst) {
+  size_t full = seq.size() / 2;
+  for (size_t i = 0; i < full; ++i) {
+    dst[i] = static_cast<char>((base_to_nibble(seq[2 * i]) << 4) |
+                               base_to_nibble(seq[2 * i + 1]));
+  }
+  if (seq.size() % 2 == 1) {
+    dst[full] = static_cast<char>(base_to_nibble(seq.back()) << 4);
+  }
+}
+
+/// Unpacks `l_seq` bases from packed 4-bit data into `out` (replaced).
+inline void unpack_seq(const char* packed, size_t l_seq, std::string& out) {
+  const auto& table = detail::byte_table();
+  out.resize(l_seq);
+  char* dst = out.data();
+  size_t full = l_seq / 2;
+  for (size_t i = 0; i < full; ++i) {
+    const auto& two = table[static_cast<uint8_t>(packed[i])];
+    dst[2 * i] = two[0];
+    dst[2 * i + 1] = two[1];
+  }
+  if (l_seq % 2 == 1) {
+    dst[l_seq - 1] = kNibbles[static_cast<uint8_t>(packed[full]) >> 4];
+  }
+}
+
+/// Converts raw Phred scores to printable Phred+33 into `out` (replaced).
+inline void quals_to_ascii(const char* raw, size_t n, std::string& out) {
+  out.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<char>(raw[i] + 33);
+  }
+}
+
+/// Converts printable Phred+33 to raw scores into a caller buffer.
+inline void ascii_to_quals(std::string_view ascii, char* dst) {
+  for (size_t i = 0; i < ascii.size(); ++i) {
+    dst[i] = static_cast<char>(ascii[i] - 33);
+  }
+}
+
+}  // namespace ngsx::seqcodec

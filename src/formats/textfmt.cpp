@@ -1,0 +1,232 @@
+#include "formats/textfmt.h"
+
+#include <algorithm>
+
+#include "util/strutil.h"
+
+namespace ngsx::textfmt {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+using strutil::append_int;
+using strutil::append_uint;
+
+bool append_bed(const AlignmentRecord& rec, const SamHeader& header,
+                std::string& out) {
+  if (rec.ref_id < 0 || rec.pos < 0 || rec.is_unmapped()) {
+    return false;
+  }
+  out += header.ref_name(rec.ref_id);
+  out += '\t';
+  append_int(out, rec.pos);
+  out += '\t';
+  append_int(out, rec.end_pos());
+  out += '\t';
+  out += rec.qname;
+  out += '\t';
+  append_uint(out, std::min<uint32_t>(rec.mapq, 1000));
+  out += '\t';
+  out += rec.is_reverse() ? '-' : '+';
+  out += '\n';
+  return true;
+}
+
+bool append_bedgraph(const AlignmentRecord& rec, const SamHeader& header,
+                     std::string& out) {
+  if (rec.ref_id < 0 || rec.pos < 0 || rec.is_unmapped()) {
+    return false;
+  }
+  out += header.ref_name(rec.ref_id);
+  out += '\t';
+  append_int(out, rec.pos);
+  out += '\t';
+  append_int(out, rec.end_pos());
+  out += '\t';
+  append_uint(out, rec.mapq);
+  out += '\n';
+  return true;
+}
+
+namespace {
+
+/// Restores original read orientation: aligned reverse-strand reads are
+/// stored reverse-complemented in SAM/BAM.
+void oriented_seq_qual(const AlignmentRecord& rec, std::string& seq,
+                       std::string& qual) {
+  if (rec.is_reverse()) {
+    seq = sam::reverse_complement(rec.seq);
+    qual.assign(rec.qual.rbegin(), rec.qual.rend());
+  } else {
+    seq = rec.seq;
+    qual = rec.qual;
+  }
+}
+
+}  // namespace
+
+bool append_fasta(const AlignmentRecord& rec, const SamHeader& header,
+                  std::string& out) {
+  (void)header;
+  if (rec.seq.empty()) {
+    return false;
+  }
+  out += '>';
+  out += rec.qname;
+  out += '\n';
+  std::string seq;
+  std::string qual;
+  oriented_seq_qual(rec, seq, qual);
+  out += seq;
+  out += '\n';
+  return true;
+}
+
+bool append_fastq(const AlignmentRecord& rec, const SamHeader& header,
+                  std::string& out) {
+  (void)header;
+  if (rec.seq.empty()) {
+    return false;
+  }
+  out += '@';
+  out += rec.qname;
+  // Mate suffixes, as Picard SamToFastq writes for paired data.
+  if (rec.is_paired()) {
+    out += (rec.flag & sam::kRead2) != 0 ? "/2" : "/1";
+  }
+  out += '\n';
+  std::string seq;
+  std::string qual;
+  oriented_seq_qual(rec, seq, qual);
+  out += seq;
+  out += "\n+\n";
+  if (qual.empty()) {
+    out.append(seq.size(), 'B');
+  } else {
+    out += qual;
+  }
+  out += '\n';
+  return true;
+}
+
+bool append_json(const AlignmentRecord& rec, const SamHeader& header,
+                 std::string& out) {
+  out += "{\"qname\":\"";
+  strutil::append_json_escaped(out, rec.qname);
+  out += "\",\"flag\":";
+  append_uint(out, rec.flag);
+  out += ",\"rname\":\"";
+  strutil::append_json_escaped(out, header.ref_name(rec.ref_id));
+  out += "\",\"pos\":";
+  append_int(out, static_cast<int64_t>(rec.pos) + 1);
+  out += ",\"mapq\":";
+  append_uint(out, rec.mapq);
+  out += ",\"cigar\":\"";
+  {
+    std::string cig;
+    sam::format_cigar(rec.cigar, cig);
+    strutil::append_json_escaped(out, cig);
+  }
+  out += "\",\"rnext\":\"";
+  strutil::append_json_escaped(out, header.ref_name(rec.mate_ref_id));
+  out += "\",\"pnext\":";
+  append_int(out, static_cast<int64_t>(rec.mate_pos) + 1);
+  out += ",\"tlen\":";
+  append_int(out, rec.tlen);
+  out += ",\"seq\":\"";
+  strutil::append_json_escaped(out, rec.seq.empty() ? "*" : rec.seq);
+  out += "\",\"qual\":\"";
+  strutil::append_json_escaped(out, rec.qual.empty() ? "*" : rec.qual);
+  out += '"';
+  if (!rec.tags.empty()) {
+    out += ",\"tags\":{";
+    bool first = true;
+    for (const auto& aux : rec.tags) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += aux.tag[0];
+      out += aux.tag[1];
+      out += "\":";
+      switch (aux.type) {
+        case 'i':
+          append_int(out, aux.int_value);
+          break;
+        case 'f':
+          strutil::append_double(out, aux.float_value);
+          break;
+        case 'A': {
+          out += '"';
+          char c = static_cast<char>(aux.int_value);
+          strutil::append_json_escaped(out, std::string_view(&c, 1));
+          out += '"';
+          break;
+        }
+        default: {
+          out += '"';
+          std::string text;
+          sam::format_aux(aux, text);
+          // Strip the "TG:T:" prefix; keep only the value body.
+          strutil::append_json_escaped(
+              out, std::string_view(text).substr(5));
+          out += '"';
+        }
+      }
+    }
+    out += '}';
+  }
+  out += "}\n";
+  return true;
+}
+
+bool append_yaml(const AlignmentRecord& rec, const SamHeader& header,
+                 std::string& out) {
+  auto quote = [&out](std::string_view s) {
+    out += '"';
+    strutil::append_json_escaped(out, s);  // JSON escapes are valid YAML
+    out += '"';
+  };
+  out += "- qname: ";
+  quote(rec.qname);
+  out += "\n  flag: ";
+  append_uint(out, rec.flag);
+  out += "\n  rname: ";
+  quote(header.ref_name(rec.ref_id));
+  out += "\n  pos: ";
+  append_int(out, static_cast<int64_t>(rec.pos) + 1);
+  out += "\n  mapq: ";
+  append_uint(out, rec.mapq);
+  out += "\n  cigar: ";
+  {
+    std::string cig;
+    sam::format_cigar(rec.cigar, cig);
+    quote(cig);
+  }
+  out += "\n  rnext: ";
+  quote(header.ref_name(rec.mate_ref_id));
+  out += "\n  pnext: ";
+  append_int(out, static_cast<int64_t>(rec.mate_pos) + 1);
+  out += "\n  tlen: ";
+  append_int(out, rec.tlen);
+  out += "\n  seq: ";
+  quote(rec.seq.empty() ? "*" : rec.seq);
+  out += "\n  qual: ";
+  quote(rec.qual.empty() ? "*" : rec.qual);
+  if (!rec.tags.empty()) {
+    out += "\n  tags:";
+    for (const auto& aux : rec.tags) {
+      out += "\n    ";
+      out += aux.tag[0];
+      out += aux.tag[1];
+      out += ": ";
+      std::string text;
+      sam::format_aux(aux, text);
+      quote(std::string_view(text).substr(5));
+    }
+  }
+  out += '\n';
+  return true;
+}
+
+}  // namespace ngsx::textfmt

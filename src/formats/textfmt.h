@@ -1,0 +1,52 @@
+// ngsx/formats/textfmt.h
+//
+// Record-level text serializers for the converter's target formats: BED,
+// BEDGRAPH, FASTA, FASTQ, JSON and YAML (§I of the paper lists all of
+// these as supported targets). Each function appends zero or one records'
+// worth of text to `out` and reports whether anything was emitted —
+// position-based formats (BED/BEDGRAPH) skip unmapped alignments.
+//
+// These are the bodies of the converter framework's "user programs": the
+// paper's extendibility story is that adding a target format means writing
+// exactly one such alignment-object → target-object function.
+
+#pragma once
+
+#include <string>
+
+#include "formats/sam.h"
+
+namespace ngsx::textfmt {
+
+/// BED6: chrom, chromStart, chromEnd, name, score, strand. Score is the
+/// mapping quality (clamped to BED's 0-1000). Skips unmapped records.
+bool append_bed(const sam::AlignmentRecord& rec, const sam::SamHeader& header,
+                std::string& out);
+
+/// BEDGRAPH: chrom, start, end, dataValue. The per-alignment data value is
+/// the mapping quality; genome-wide coverage tracks are produced by the
+/// histogram module instead. Skips unmapped records.
+bool append_bedgraph(const sam::AlignmentRecord& rec,
+                     const sam::SamHeader& header, std::string& out);
+
+/// FASTA: ">name" then the read bases. Reverse-strand alignments are
+/// reverse-complemented back to original read orientation.
+bool append_fasta(const sam::AlignmentRecord& rec,
+                  const sam::SamHeader& header, std::string& out);
+
+/// FASTQ: "@name", bases, "+", Phred+33 qualities; read orientation is
+/// restored as in FASTA (matching Picard SamToFastq). Records without
+/// stored qualities get 'B'-filled placeholders, records without bases are
+/// skipped.
+bool append_fastq(const sam::AlignmentRecord& rec,
+                  const sam::SamHeader& header, std::string& out);
+
+/// One JSON object per line (JSON Lines framing) with every SAM field.
+bool append_json(const sam::AlignmentRecord& rec,
+                 const sam::SamHeader& header, std::string& out);
+
+/// One YAML document (a "- " list item with nested mapping) per record.
+bool append_yaml(const sam::AlignmentRecord& rec,
+                 const sam::SamHeader& header, std::string& out);
+
+}  // namespace ngsx::textfmt

@@ -1,0 +1,208 @@
+#include "formats/validate.h"
+
+#include <memory>
+#include <set>
+
+#include "formats/bam.h"
+#include "util/strutil.h"
+
+namespace ngsx::validate {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+namespace {
+
+void add_issue(Report& report, const Options& options, Severity severity,
+               uint64_t index, const char* rule, std::string message) {
+  if (severity == Severity::kError) {
+    ++report.error_count;
+  } else {
+    ++report.warning_count;
+  }
+  if (report.issues.size() < options.max_recorded_issues) {
+    report.issues.push_back(
+        Issue{severity, index, rule, std::move(message)});
+  }
+}
+
+}  // namespace
+
+size_t validate_record(const AlignmentRecord& rec, const SamHeader& header,
+                       uint64_t index, const Options& options,
+                       Report& report) {
+  size_t errors_before = static_cast<size_t>(report.error_count);
+  auto error = [&](const char* rule, std::string message) {
+    add_issue(report, options, Severity::kError, index, rule,
+              std::move(message));
+  };
+  auto warn = [&](const char* rule, std::string message) {
+    add_issue(report, options, Severity::kWarning, index, rule,
+              std::move(message));
+  };
+
+  // Read name (SAM spec: [!-?A-~]{1,254}, i.e. printable minus '@').
+  if (rec.qname.empty()) {
+    error("QNAME_EMPTY", "read name is empty");
+  } else if (rec.qname.size() > 254) {
+    error("QNAME_TOO_LONG",
+          "read name has " + std::to_string(rec.qname.size()) + " chars");
+  } else {
+    for (char c : rec.qname) {
+      if (c < '!' || c > '~' || c == '@') {
+        error("QNAME_BAD_CHAR",
+              std::string("read name contains illegal character '") + c +
+                  "'");
+        break;
+      }
+    }
+  }
+
+  // Flag consistency.
+  if (!rec.is_paired() &&
+      (rec.flag & (sam::kProperPair | sam::kMateUnmapped | sam::kMateReverse |
+                   sam::kRead1 | sam::kRead2)) != 0) {
+    warn("PAIRED_FLAGS_ON_UNPAIRED",
+         "pair-specific flag bits set on an unpaired read");
+  }
+  if (rec.is_paired() && (rec.flag & sam::kRead1) != 0 &&
+      (rec.flag & sam::kRead2) != 0) {
+    warn("BOTH_MATE_NUMBERS", "read flagged as both first and second of pair");
+  }
+
+  // Placement.
+  const auto n_refs = static_cast<int64_t>(header.references().size());
+  if (rec.is_unmapped()) {
+    if (rec.mapq != 0) {
+      warn("MAPQ_ON_UNMAPPED", "unmapped read with nonzero MAPQ");
+    }
+    if (!rec.cigar.empty()) {
+      warn("CIGAR_ON_UNMAPPED", "unmapped read with a CIGAR");
+    }
+  } else {
+    if (rec.ref_id < 0 || rec.ref_id >= n_refs) {
+      error("RNAME_INVALID",
+            "mapped read has invalid reference id " +
+                std::to_string(rec.ref_id));
+    } else {
+      if (rec.pos < 0) {
+        error("POS_MISSING", "mapped read without a position");
+      } else if (rec.pos >= header.ref_length(rec.ref_id)) {
+        error("POS_PAST_END",
+              "position " + std::to_string(rec.pos) + " beyond " +
+                  std::string(header.ref_name(rec.ref_id)) + " length " +
+                  std::to_string(header.ref_length(rec.ref_id)));
+      } else if (rec.end_pos() > header.ref_length(rec.ref_id)) {
+        warn("ALIGNMENT_PAST_END",
+             "alignment extends past the end of the reference");
+      }
+      if (rec.cigar.empty()) {
+        warn("CIGAR_MISSING", "mapped read without a CIGAR");
+      }
+    }
+  }
+  if (rec.mate_ref_id >= n_refs) {
+    error("RNEXT_INVALID", "invalid mate reference id " +
+                               std::to_string(rec.mate_ref_id));
+  }
+
+  // CIGAR.
+  if (!rec.cigar.empty()) {
+    int64_t query = 0;
+    for (size_t i = 0; i < rec.cigar.size(); ++i) {
+      const sam::CigarOp& op = rec.cigar[i];
+      if (op.len == 0) {
+        warn("CIGAR_ZERO_LENGTH_OP",
+             std::string("zero-length CIGAR op '") + op.op + "'");
+      }
+      if (i > 0 && rec.cigar[i - 1].op == op.op) {
+        warn("CIGAR_ADJACENT_SAME_OP",
+             std::string("adjacent CIGAR ops of type '") + op.op + "'");
+      }
+      if (op.op == 'H' && i != 0 && i + 1 != rec.cigar.size()) {
+        error("CIGAR_INTERNAL_HARDCLIP", "hard clip not at CIGAR edge");
+      }
+      if (op.consumes_query()) {
+        query += op.len;
+      }
+    }
+    if (!rec.seq.empty() && query != static_cast<int64_t>(rec.seq.size())) {
+      error("CIGAR_SEQ_MISMATCH",
+            "CIGAR consumes " + std::to_string(query) + " bases but SEQ has " +
+                std::to_string(rec.seq.size()));
+    }
+  }
+
+  // SEQ/QUAL.
+  if (!rec.seq.empty() && !rec.qual.empty() &&
+      rec.seq.size() != rec.qual.size()) {
+    error("SEQ_QUAL_MISMATCH",
+          "SEQ length " + std::to_string(rec.seq.size()) +
+              " != QUAL length " + std::to_string(rec.qual.size()));
+  }
+  for (char q : rec.qual) {
+    if (q < '!' || q > '~') {
+      error("QUAL_BAD_CHAR", "quality character out of Phred+33 range");
+      break;
+    }
+  }
+
+  // Tags: duplicates.
+  if (rec.tags.size() > 1) {
+    std::set<std::pair<char, char>> seen;
+    for (const auto& tag : rec.tags) {
+      if (!seen.insert({tag.tag[0], tag.tag[1]}).second) {
+        warn("DUPLICATE_TAG", std::string("duplicate tag ") + tag.tag[0] +
+                                  tag.tag[1]);
+        break;
+      }
+    }
+  }
+
+  return static_cast<size_t>(report.error_count) - errors_before;
+}
+
+Report validate_file(const std::string& path, const Options& options) {
+  Report report;
+  std::unique_ptr<bam::BamFileReader> bam_reader;
+  std::unique_ptr<sam::SamFileReader> sam_reader;
+  const SamHeader* header;
+  if (strutil::ends_with(path, ".bam")) {
+    bam_reader = std::make_unique<bam::BamFileReader>(path);
+    header = &bam_reader->header();
+  } else {
+    sam_reader = std::make_unique<sam::SamFileReader>(path);
+    header = &sam_reader->header();
+  }
+
+  AlignmentRecord rec;
+  uint32_t last_ref = 0;
+  int32_t last_pos = -1;
+  bool seen_unmapped = false;
+  uint64_t index = 0;
+  auto next = [&](AlignmentRecord& out) {
+    return bam_reader ? bam_reader->next(out) : sam_reader->next(out);
+  };
+  while (next(rec)) {
+    validate_record(rec, *header, index, options, report);
+    if (options.check_sort_order) {
+      if (rec.ref_id < 0) {
+        seen_unmapped = true;
+      } else {
+        uint32_t ref = static_cast<uint32_t>(rec.ref_id);
+        if (seen_unmapped || ref < last_ref ||
+            (ref == last_ref && rec.pos < last_pos)) {
+          add_issue(report, options, Severity::kError, index, "OUT_OF_ORDER",
+                    "record violates coordinate sort order");
+        }
+        last_ref = ref;
+        last_pos = rec.pos;
+      }
+    }
+    ++index;
+  }
+  report.records_checked = index;
+  return report;
+}
+
+}  // namespace ngsx::validate

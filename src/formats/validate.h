@@ -1,0 +1,55 @@
+// ngsx/formats/validate.h
+//
+// SAM/BAM validation: spec-conformance checks over alignment records and
+// whole files (the role Picard's ValidateSamFile plays in the toolchains
+// the paper compares against). The converter framework trusts its inputs
+// for speed; pipelines run this once at ingest instead.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formats/sam.h"
+
+namespace ngsx::validate {
+
+enum class Severity {
+  kWarning,  // tolerated by downstream tools but suspicious
+  kError,    // spec violation
+};
+
+/// One finding.
+struct Issue {
+  Severity severity = Severity::kError;
+  uint64_t record_index = 0;  // 0-based position in the file/stream
+  std::string rule;           // stable identifier, e.g. "CIGAR_SEQ_MISMATCH"
+  std::string message;
+};
+
+/// Validation outcome. Issues are capped (see Options) but counts are not.
+struct Report {
+  uint64_t records_checked = 0;
+  uint64_t error_count = 0;
+  uint64_t warning_count = 0;
+  std::vector<Issue> issues;
+
+  bool ok() const { return error_count == 0; }
+};
+
+struct Options {
+  size_t max_recorded_issues = 100;  // counting continues past the cap
+  bool check_sort_order = false;     // require coordinate order
+};
+
+/// Validates one record against `header`; appends findings (record_index
+/// is taken from the argument). Returns the number of *errors* found.
+size_t validate_record(const sam::AlignmentRecord& rec,
+                       const sam::SamHeader& header, uint64_t record_index,
+                       const Options& options, Report& report);
+
+/// Validates a whole SAM or BAM file (by extension).
+Report validate_file(const std::string& path, const Options& options = {});
+
+}  // namespace ngsx::validate

@@ -1,0 +1,236 @@
+#include "mpi/minimpi.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace ngsx::mpi {
+namespace detail {
+
+// Shared state for one run(): per-rank mailboxes plus a generation barrier.
+class World {
+ public:
+  explicit World(int nranks) : nranks_(nranks), mailboxes_(nranks) {}
+
+  void send(int src, int dest, int tag, std::string payload) {
+    check_rank(dest);
+    Mailbox& box = mailboxes_[static_cast<size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queues[{src, tag}].push_back(std::move(payload));
+    }
+    box.cv.notify_all();
+  }
+
+  std::string recv(int self, int src, int tag) {
+    check_rank(src);
+    Mailbox& box = mailboxes_[static_cast<size_t>(self)];
+    std::unique_lock<std::mutex> lock(box.mu);
+    auto key = std::make_pair(src, tag);
+    box.cv.wait(lock, [&] {
+      if (aborted_.load(std::memory_order_acquire)) {
+        return true;
+      }
+      auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    });
+    if (aborted_.load(std::memory_order_acquire)) {
+      throw AbortError();
+    }
+    auto& q = box.queues[key];
+    std::string payload = std::move(q.front());
+    q.pop_front();
+    return payload;
+  }
+
+  bool probe(int self, int src, int tag) {
+    Mailbox& box = mailboxes_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    auto it = box.queues.find({src, tag});
+    return it != box.queues.end() && !it->second.empty();
+  }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lock(barrier_mu_);
+    if (aborted_.load(std::memory_order_acquire)) {
+      throw AbortError();
+    }
+    uint64_t my_generation = barrier_generation_;
+    if (++barrier_waiting_ == nranks_) {
+      barrier_waiting_ = 0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+      return;
+    }
+    barrier_cv_.wait(lock, [&] {
+      return barrier_generation_ != my_generation ||
+             aborted_.load(std::memory_order_acquire);
+    });
+    if (aborted_.load(std::memory_order_acquire) &&
+        barrier_generation_ == my_generation) {
+      throw AbortError();
+    }
+  }
+
+  /// Records the first failure and wakes every blocked rank.
+  void abort(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!first_error_) {
+        first_error_ = error;
+      }
+    }
+    aborted_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(barrier_mu_);
+      barrier_cv_.notify_all();
+    }
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+  }
+
+  std::exception_ptr first_error() {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    return first_error_;
+  }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<std::string>> queues;
+  };
+
+  void check_rank(int r) const {
+    NGSX_CHECK_MSG(r >= 0 && r < nranks_,
+                   "rank " + std::to_string(r) + " out of range [0, " +
+                       std::to_string(nranks_) + ")");
+  }
+
+  int nranks_;
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  uint64_t barrier_generation_ = 0;
+
+  std::atomic<bool> aborted_{false};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace detail
+
+// Collectives use tags in this reserved space; user tags must be < kBaseTag.
+// FIFO delivery per (source, tag) plus the same-order collective contract
+// makes a single internal tag sufficient.
+namespace {
+constexpr int kInternalTag = 1 << 30;
+}  // namespace
+
+void Comm::send(int dest, int tag, std::string_view payload) {
+  NGSX_CHECK_MSG(tag < kInternalTag, "user tags must be < 2^30");
+  world_->send(rank_, dest, tag, std::string(payload));
+}
+
+std::string Comm::recv(int source, int tag) {
+  NGSX_CHECK_MSG(tag < kInternalTag, "user tags must be < 2^30");
+  return world_->recv(rank_, source, tag);
+}
+
+bool Comm::probe(int source, int tag) {
+  return world_->probe(rank_, source, tag);
+}
+
+void Comm::barrier() { world_->barrier(); }
+
+std::string Comm::bcast(int root, std::string payload) {
+  if (rank_ == root) {
+    for (int r = 0; r < size_; ++r) {
+      if (r != root) {
+        world_->send(rank_, r, kInternalTag, payload);
+      }
+    }
+    return payload;
+  }
+  return world_->recv(rank_, root, kInternalTag);
+}
+
+std::vector<std::string> Comm::gather(int root, std::string_view local) {
+  if (rank_ != root) {
+    world_->send(rank_, root, kInternalTag, std::string(local));
+    return {};
+  }
+  std::vector<std::string> parts(static_cast<size_t>(size_));
+  parts[static_cast<size_t>(root)] = std::string(local);
+  for (int r = 0; r < size_; ++r) {
+    if (r != root) {
+      parts[static_cast<size_t>(r)] = world_->recv(rank_, r, kInternalTag);
+    }
+  }
+  return parts;
+}
+
+std::vector<std::string> Comm::allgather(std::string_view local) {
+  std::vector<std::string> parts = gather(0, local);
+  // Serialize at root as length-prefixed frames, then broadcast.
+  std::string frame;
+  if (rank_ == 0) {
+    for (const auto& p : parts) {
+      uint64_t n = p.size();
+      frame.append(reinterpret_cast<const char*>(&n), sizeof(n));
+      frame += p;
+    }
+  }
+  frame = bcast(0, std::move(frame));
+  if (rank_ == 0) {
+    return parts;
+  }
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(size_));
+  size_t pos = 0;
+  while (pos < frame.size()) {
+    uint64_t n;
+    __builtin_memcpy(&n, frame.data() + pos, sizeof(n));
+    pos += sizeof(n);
+    out.emplace_back(frame.substr(pos, n));
+    pos += n;
+  }
+  NGSX_CHECK(out.size() == static_cast<size_t>(size_));
+  return out;
+}
+
+void run(int nranks, const std::function<void(Comm&)>& body) {
+  NGSX_CHECK_MSG(nranks >= 1, "need at least one rank");
+  detail::World world(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &body, r, nranks] {
+      Comm comm(&world, r, nranks);
+      try {
+        body(comm);
+      } catch (const AbortError&) {
+        // Another rank already failed; its error is the one to report.
+      } catch (...) {
+        world.abort(std::current_exception());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (auto error = world.first_error()) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ngsx::mpi

@@ -1,0 +1,213 @@
+// ngsx/mpi/minimpi.h
+//
+// minimpi: an in-process message-passing runtime with MPI-shaped semantics.
+//
+// The paper's framework is "implemented in C++ with MPI" on a 32-node
+// cluster. This container has no MPI installation, so ngsx expresses its
+// parallel algorithms against this small communicator interface instead and
+// runs each rank as an OS thread. Point-to-point sends, barriers and
+// collectives have the same blocking semantics as their MPI counterparts
+// (send is buffered/eager like MPI_Bsend; recv blocks; collectives must be
+// called by every rank in the same order), so Algorithm 1's boundary
+// exchange, the NL-means halo replication and Algorithm 2's gather+reduce
+// execute with real concurrency and the same communication structure they
+// would have under MPI.
+//
+// Usage:
+//
+//   ngsx::mpi::run(8, [&](ngsx::mpi::Comm& comm) {
+//     if (comm.rank() == 0) comm.send_value(1, /*tag=*/0, 42);
+//     if (comm.rank() == 1) int v = comm.recv_value<int>(0, 0);
+//     comm.barrier();
+//     double total = comm.allreduce_sum(local);
+//   });
+//
+// Error handling: if any rank throws, the world is aborted, blocked ranks
+// are woken with AbortError, and run() rethrows the first failure.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ngsx::mpi {
+
+/// Thrown inside surviving ranks when another rank has failed; run()
+/// rethrows the original error, not this one.
+class AbortError : public Error {
+ public:
+  AbortError() : Error("minimpi: world aborted by a failing rank") {}
+};
+
+namespace detail {
+class World;
+}  // namespace detail
+
+/// Per-rank communicator handle. Not thread-safe: each rank owns exactly one
+/// Comm and uses it from its own thread only (mirroring MPI_COMM_WORLD use).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  // ---- point-to-point -----------------------------------------------------
+
+  /// Buffered (eager) send; never blocks on the receiver.
+  void send(int dest, int tag, std::string_view payload);
+
+  /// Blocks until a message with matching (source, tag) arrives. Messages
+  /// from the same (source, tag) are delivered FIFO.
+  std::string recv(int source, int tag);
+
+  /// True if a matching message is already queued (MPI_Iprobe analogue).
+  bool probe(int source, int tag);
+
+  /// Typed scalar convenience wrappers for trivially copyable T.
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag,
+         std::string_view(reinterpret_cast<const char*>(&v), sizeof(T)));
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::string payload = recv(source, tag);
+    NGSX_CHECK_MSG(payload.size() == sizeof(T),
+                   "typed recv size mismatch");
+    T v;
+    __builtin_memcpy(&v, payload.data(), sizeof(T));
+    return v;
+  }
+
+  /// Typed vector convenience wrappers for trivially copyable T.
+  template <typename T>
+  void send_vector(int dest, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag,
+         std::string_view(reinterpret_cast<const char*>(v.data()),
+                          v.size() * sizeof(T)));
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::string payload = recv(source, tag);
+    NGSX_CHECK_MSG(payload.size() % sizeof(T) == 0,
+                   "typed recv size not a multiple of element size");
+    std::vector<T> v(payload.size() / sizeof(T));
+    __builtin_memcpy(v.data(), payload.data(), payload.size());
+    return v;
+  }
+
+  // ---- collectives (must be called by all ranks, in the same order) ------
+
+  /// Blocks until every rank has entered the barrier.
+  void barrier();
+
+  /// Root's payload is returned on every rank.
+  std::string bcast(int root, std::string payload);
+
+  template <typename T>
+  T bcast_value(int root, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::string s = bcast(
+        root, std::string(reinterpret_cast<const char*>(&v), sizeof(T)));
+    T out;
+    __builtin_memcpy(&out, s.data(), sizeof(T));
+    return out;
+  }
+
+  /// Gathers each rank's payload at `root`, indexed by rank. Non-root ranks
+  /// receive an empty vector.
+  std::vector<std::string> gather(int root, std::string_view local);
+
+  /// Gathers at every rank (gather to 0 + bcast).
+  std::vector<std::string> allgather(std::string_view local);
+
+  template <typename T>
+  std::vector<T> gather_values(int root, const T& local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto parts = gather(
+        root,
+        std::string_view(reinterpret_cast<const char*>(&local), sizeof(T)));
+    std::vector<T> out;
+    out.reserve(parts.size());
+    for (const auto& p : parts) {
+      T v;
+      NGSX_CHECK(p.size() == sizeof(T));
+      __builtin_memcpy(&v, p.data(), sizeof(T));
+      out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Sum-reduction to `root`; other ranks get T{}.
+  template <typename T>
+  T reduce_sum(int root, const T& local) {
+    auto vals = gather_values<T>(root, local);
+    T total{};
+    for (const auto& v : vals) {
+      total += v;
+    }
+    return total;
+  }
+
+  /// Sum-reduction delivered to every rank.
+  template <typename T>
+  T allreduce_sum(const T& local) {
+    return bcast_value(0, reduce_sum(0, local));
+  }
+
+  /// Max-reduction delivered to every rank.
+  template <typename T>
+  T allreduce_max(const T& local) {
+    auto vals = gather_values<T>(0, local);
+    T best = local;
+    for (const auto& v : vals) {
+      if (best < v) {
+        best = v;
+      }
+    }
+    return bcast_value(0, best);
+  }
+
+  /// Exclusive prefix sum over ranks (rank r receives sum of ranks < r).
+  template <typename T>
+  T exscan_sum(const T& local) {
+    auto vals = allgather(std::string_view(
+        reinterpret_cast<const char*>(&local), sizeof(T)));
+    T acc{};
+    for (int r = 0; r < rank_; ++r) {
+      T v;
+      __builtin_memcpy(&v, vals[static_cast<size_t>(r)].data(), sizeof(T));
+      acc += v;
+    }
+    return acc;
+  }
+
+ private:
+  friend void run(int, const std::function<void(Comm&)>&);
+  Comm(detail::World* world, int rank, int size)
+      : world_(world), rank_(rank), size_(size) {}
+
+  detail::World* world_;
+  int rank_;
+  int size_;
+};
+
+/// Launches `nranks` ranks, each running `body` on its own thread with its
+/// own Comm, and joins them. Rethrows the first rank failure. Reentrant:
+/// distinct run() calls use distinct worlds (but do not nest run() inside a
+/// rank body).
+void run(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace ngsx::mpi

@@ -1,0 +1,61 @@
+#include "simdata/histsim.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ngsx::simdata {
+
+std::vector<double> simulate_histogram(size_t n_bins,
+                                       const HistSimConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<double> hist(n_bins);
+  for (size_t i = 0; i < n_bins; ++i) {
+    hist[i] = static_cast<double>(rng.poisson(cfg.background_rate));
+  }
+  // Scatter Gaussian peaks.
+  uint64_t n_peaks = static_cast<uint64_t>(
+      cfg.peak_density * static_cast<double>(n_bins));
+  for (uint64_t p = 0; p < n_peaks; ++p) {
+    size_t center = static_cast<size_t>(rng.below(n_bins));
+    double height = cfg.peak_height * (0.5 + rng.uniform());
+    double width = cfg.peak_width * (0.5 + rng.uniform());
+    long radius = static_cast<long>(3 * width) + 1;
+    for (long d = -radius; d <= radius; ++d) {
+      long idx = static_cast<long>(center) + d;
+      if (idx < 0 || idx >= static_cast<long>(n_bins)) {
+        continue;
+      }
+      double bump =
+          height * std::exp(-0.5 * (static_cast<double>(d) / width) *
+                            (static_cast<double>(d) / width));
+      hist[static_cast<size_t>(idx)] +=
+          static_cast<double>(rng.poisson(bump));
+    }
+  }
+  return hist;
+}
+
+std::vector<double> simulate_null(size_t n_bins, double background_rate,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> hist(n_bins);
+  for (size_t i = 0; i < n_bins; ++i) {
+    hist[i] = static_cast<double>(rng.poisson(background_rate));
+  }
+  return hist;
+}
+
+std::vector<std::vector<double>> simulate_null_batch(size_t n_bins, size_t b,
+                                                     double background_rate,
+                                                     uint64_t seed) {
+  std::vector<std::vector<double>> out;
+  out.reserve(b);
+  for (size_t round = 0; round < b; ++round) {
+    out.push_back(simulate_null(n_bins, background_rate,
+                                seed * 7919ull + round + 1));
+  }
+  return out;
+}
+
+}  // namespace ngsx::simdata

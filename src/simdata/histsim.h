@@ -1,0 +1,43 @@
+// ngsx/simdata/histsim.h
+//
+// Synthetic histogram data for the statistical-analysis module. The paper's
+// NL-means / FDR experiments run on binned ChIP-seq-style coverage
+// histograms (Han et al.): a noisy baseline with enriched regions (peaks).
+// The FDR computation additionally needs B "simulation datasets" produced
+// by random simulation; we model those as peak-free noise drawn from the
+// background distribution, which is exactly the null the FDR procedure
+// assumes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ngsx::simdata {
+
+/// Parameters of the synthetic ChIP-seq-like histogram.
+struct HistSimConfig {
+  double background_rate = 4.0;   // mean reads per bin off-peak
+  double peak_density = 0.0005;   // peaks per bin
+  double peak_height = 40.0;      // mean extra reads at a peak summit
+  double peak_width = 12.0;       // Gaussian peak sd, in bins
+  uint64_t seed = 7;
+};
+
+/// A histogram with enriched regions: Poisson background plus Gaussian
+/// peaks. Values are read counts per bin (non-negative).
+std::vector<double> simulate_histogram(size_t n_bins,
+                                       const HistSimConfig& config);
+
+/// One null-model simulation dataset: Poisson background only, seeded per
+/// round so datasets are independent.
+std::vector<double> simulate_null(size_t n_bins, double background_rate,
+                                  uint64_t seed);
+
+/// B null datasets, as the FDR procedure consumes them (B x n_bins).
+std::vector<std::vector<double>> simulate_null_batch(size_t n_bins, size_t b,
+                                                     double background_rate,
+                                                     uint64_t seed);
+
+}  // namespace ngsx::simdata

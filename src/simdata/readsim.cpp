@@ -1,0 +1,366 @@
+#include "simdata/readsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "formats/bam.h"
+#include "util/rng.h"
+
+namespace ngsx::simdata {
+
+using sam::AlignmentRecord;
+using sam::AuxField;
+using sam::CigarOp;
+
+namespace {
+
+constexpr char kBases[] = "ACGT";
+
+char mutate_base(char base, Rng& rng) {
+  char mutated;
+  do {
+    mutated = kBases[rng.below(4)];
+  } while (mutated == base);
+  return mutated;
+}
+
+/// Draws a Phred quality for cycle `i` of `len`: high early, decaying tail,
+/// like real Illumina profiles.
+char quality_at(uint32_t i, uint32_t len, Rng& rng) {
+  double mean = 38.0 - 8.0 * (static_cast<double>(i) / len);
+  double q = mean + 2.5 * rng.normal();
+  int iq = std::clamp(static_cast<int>(q), 2, 41);
+  return static_cast<char>(iq + 33);
+}
+
+struct SimRead {
+  int32_t pos = -1;           // leftmost reference position
+  std::vector<CigarOp> cigar;
+  std::string seq;            // as aligned (forward reference orientation)
+  std::string qual;
+  int edit_distance = 0;
+};
+
+/// Builds one aligned read starting at `pos` on `ref_seq`, injecting
+/// sequencing errors and optionally an indel / soft clips.
+SimRead make_read(const std::string& ref_seq, int32_t pos,
+                  const ReadSimConfig& cfg, Rng& rng) {
+  SimRead read;
+  read.pos = pos;
+  uint32_t len = cfg.read_length;
+
+  // Decide structural events.
+  bool with_indel = rng.chance(cfg.indel_rate);
+  bool with_clip = rng.chance(cfg.softclip_rate);
+
+  uint32_t left_clip = 0;
+  uint32_t right_clip = 0;
+  if (with_clip) {
+    if (rng.chance(0.5)) {
+      left_clip = static_cast<uint32_t>(rng.range(3, 15));
+    } else {
+      right_clip = static_cast<uint32_t>(rng.range(3, 15));
+    }
+  }
+
+  uint32_t aligned_len = len - left_clip - right_clip;
+
+  // Soft-clipped bases are random (adapter / low-quality tail).
+  for (uint32_t i = 0; i < left_clip; ++i) {
+    read.seq += kBases[rng.below(4)];
+  }
+
+  if (!with_indel) {
+    // Simple M-block.
+    for (uint32_t i = 0; i < aligned_len; ++i) {
+      size_t rpos = static_cast<size_t>(pos) + i;
+      char base = rpos < ref_seq.size() ? ref_seq[rpos] : 'N';
+      if (rng.chance(cfg.base_error_rate)) {
+        base = mutate_base(base == 'N' ? 'A' : base, rng);
+        ++read.edit_distance;
+      }
+      read.seq += base;
+    }
+    if (left_clip > 0) {
+      read.cigar.push_back(CigarOp{'S', left_clip});
+    }
+    read.cigar.push_back(CigarOp{'M', aligned_len});
+    if (right_clip > 0) {
+      read.cigar.push_back(CigarOp{'S', right_clip});
+    }
+  } else {
+    // Split the aligned block around one insertion or deletion.
+    uint32_t split = static_cast<uint32_t>(
+        rng.range(10, static_cast<int64_t>(aligned_len) - 10));
+    uint32_t event_len = static_cast<uint32_t>(rng.range(1, 6));
+    bool insertion = rng.chance(0.5);
+
+    if (left_clip > 0) {
+      read.cigar.push_back(CigarOp{'S', left_clip});
+    }
+    size_t rpos = static_cast<size_t>(pos);
+    auto copy_block = [&](uint32_t n) {
+      for (uint32_t i = 0; i < n; ++i) {
+        char base = rpos < ref_seq.size() ? ref_seq[rpos] : 'N';
+        ++rpos;
+        if (rng.chance(cfg.base_error_rate)) {
+          base = mutate_base(base == 'N' ? 'A' : base, rng);
+          ++read.edit_distance;
+        }
+        read.seq += base;
+      }
+    };
+    if (insertion) {
+      uint32_t m2 = aligned_len - split - event_len;
+      copy_block(split);
+      for (uint32_t i = 0; i < event_len; ++i) {
+        read.seq += kBases[rng.below(4)];
+      }
+      read.edit_distance += static_cast<int>(event_len);
+      copy_block(m2);
+      read.cigar.push_back(CigarOp{'M', split});
+      read.cigar.push_back(CigarOp{'I', event_len});
+      read.cigar.push_back(CigarOp{'M', m2});
+    } else {
+      uint32_t m2 = aligned_len - split;
+      copy_block(split);
+      rpos += event_len;  // skip deleted reference bases
+      read.edit_distance += static_cast<int>(event_len);
+      copy_block(m2);
+      read.cigar.push_back(CigarOp{'M', split});
+      read.cigar.push_back(CigarOp{'D', event_len});
+      read.cigar.push_back(CigarOp{'M', m2});
+    }
+    if (right_clip > 0) {
+      read.cigar.push_back(CigarOp{'S', right_clip});
+    }
+  }
+
+  for (uint32_t i = 0; i < right_clip; ++i) {
+    read.seq += kBases[rng.below(4)];
+  }
+
+  read.qual.reserve(len);
+  for (uint32_t i = 0; i < len; ++i) {
+    read.qual += quality_at(i, len, rng);
+  }
+  return read;
+}
+
+void add_tags(AlignmentRecord& rec, const SimRead& read,
+              const ReadSimConfig& cfg, Rng& rng) {
+  AuxField nm;
+  nm.tag = {'N', 'M'};
+  nm.type = 'i';
+  nm.int_value = read.edit_distance;
+  rec.tags.push_back(nm);
+
+  AuxField as;
+  as.tag = {'A', 'S'};
+  as.type = 'i';
+  as.int_value =
+      static_cast<int64_t>(cfg.read_length) - 2 * read.edit_distance;
+  rec.tags.push_back(as);
+
+  if (rng.chance(cfg.md_tag_rate)) {
+    // A plausible MD string: matches split by the mismatches we injected.
+    AuxField md;
+    md.tag = {'M', 'D'};
+    md.type = 'Z';
+    uint32_t remaining = cfg.read_length;
+    std::string v;
+    for (int e = 0; e < read.edit_distance && remaining > 1; ++e) {
+      uint32_t run = static_cast<uint32_t>(
+          rng.below(remaining));
+      v += std::to_string(run);
+      v += kBases[rng.below(4)];
+      remaining -= std::min(remaining - 1, run + 1);
+    }
+    v += std::to_string(remaining);
+    md.str_value = std::move(v);
+    rec.tags.push_back(md);
+  }
+
+  if (rng.chance(cfg.array_tag_rate)) {
+    AuxField arr;
+    arr.tag = {'Z', 'B'};
+    arr.type = 'B';
+    arr.subtype = 'S';
+    size_t n = static_cast<size_t>(rng.range(2, 6));
+    for (size_t i = 0; i < n; ++i) {
+      arr.int_array.push_back(rng.range(0, 65535));
+    }
+    rec.tags.push_back(arr);
+  }
+}
+
+}  // namespace
+
+std::vector<AlignmentRecord> simulate_alignments(const ReferenceGenome& genome,
+                                                 uint64_t n_pairs,
+                                                 const ReadSimConfig& cfg) {
+  NGSX_CHECK_MSG(cfg.read_length >= 40, "read_length must be >= 40");
+  Rng rng(cfg.seed);
+  std::vector<AlignmentRecord> records;
+  records.reserve(2 * n_pairs);
+
+  const auto& refs = genome.references();
+  // Cumulative lengths for uniform fragment placement over the genome.
+  std::vector<uint64_t> cumulative;
+  uint64_t total = 0;
+  for (const auto& ref : refs) {
+    total += static_cast<uint64_t>(ref.length);
+    cumulative.push_back(total);
+  }
+
+  for (uint64_t pair = 0; pair < n_pairs; ++pair) {
+    // Fragment placement.
+    int32_t frag_len = static_cast<int32_t>(
+        std::max(static_cast<double>(2 * cfg.read_length + 10),
+                 cfg.fragment_mean + cfg.fragment_sd * rng.normal()));
+    uint64_t g = rng.below(total);
+    size_t ref_id = static_cast<size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), g + 1) -
+        cumulative.begin());
+    uint64_t ref_start = ref_id == 0 ? 0 : cumulative[ref_id - 1];
+    const std::string& ref_seq = genome.sequence(static_cast<int32_t>(ref_id));
+    int64_t max_pos =
+        static_cast<int64_t>(ref_seq.size()) - frag_len - 1;
+    if (max_pos < 1) {
+      // Chromosome shorter than the fragment (chrM at small scales):
+      // fall back to the longest chromosome, chr1.
+      ref_id = 0;
+      max_pos = static_cast<int64_t>(genome.sequence(0).size()) - frag_len - 1;
+      if (max_pos < 1) {
+        throw UsageError("genome too small for configured fragment length");
+      }
+    }
+    (void)ref_start;
+    int32_t frag_pos = static_cast<int32_t>(
+        rng.below(static_cast<uint64_t>(max_pos)));
+    const std::string& seq = genome.sequence(static_cast<int32_t>(ref_id));
+
+    bool r1_forward = rng.chance(0.5);
+    bool duplicate = rng.chance(cfg.duplicate_rate);
+    bool r1_unmapped = rng.chance(cfg.unmapped_rate);
+    bool r2_unmapped = rng.chance(cfg.unmapped_rate);
+
+    // Forward-strand read at the fragment start, reverse at the end.
+    int32_t fwd_pos = frag_pos;
+    SimRead fwd = make_read(seq, fwd_pos, cfg, rng);
+    int32_t rev_pos = frag_pos + frag_len - static_cast<int32_t>(
+        cfg.read_length);
+    SimRead rev = make_read(seq, rev_pos, cfg, rng);
+
+    std::string base_name = "sim." + std::to_string(cfg.seed) + "." +
+                            std::to_string(pair);
+
+    AlignmentRecord r1;
+    AlignmentRecord r2;
+    r1.qname = base_name;
+    r2.qname = base_name;
+
+    // r1 is the forward-strand read when r1_forward, else the reverse one.
+    const SimRead& r1_sim = r1_forward ? fwd : rev;
+    const SimRead& r2_sim = r1_forward ? rev : fwd;
+    bool r1_reverse = !r1_forward;
+    bool r2_reverse = r1_forward;
+
+    auto fill = [&](AlignmentRecord& rec, const SimRead& sim, bool reverse,
+                    bool unmapped, bool first_in_pair, bool mate_reverse,
+                    bool mate_unmapped, const SimRead& mate_sim) {
+      rec.flag = sam::kPaired;
+      rec.flag |= first_in_pair ? sam::kRead1 : sam::kRead2;
+      if (duplicate) {
+        rec.flag |= sam::kDuplicate;
+      }
+      if (unmapped) {
+        rec.flag |= sam::kUnmapped;
+        rec.ref_id = -1;
+        rec.pos = -1;
+        rec.mapq = 0;
+        rec.cigar.clear();
+      } else {
+        rec.ref_id = static_cast<int32_t>(ref_id);
+        rec.pos = sim.pos;
+        rec.mapq = static_cast<uint8_t>(
+            std::clamp<int64_t>(60 - 3 * sim.edit_distance +
+                                    rng.range(-5, 0),
+                                0, 60));
+        rec.cigar = sim.cigar;
+        if (reverse) {
+          rec.flag |= sam::kReverse;
+        }
+      }
+      if (mate_unmapped) {
+        rec.flag |= sam::kMateUnmapped;
+        rec.mate_ref_id = rec.ref_id;  // convention: mate placed with read
+        rec.mate_pos = rec.pos;
+      } else {
+        rec.mate_ref_id = static_cast<int32_t>(ref_id);
+        rec.mate_pos = mate_sim.pos;
+        if (mate_reverse) {
+          rec.flag |= sam::kMateReverse;
+        }
+      }
+      if (!unmapped && !mate_unmapped) {
+        rec.flag |= sam::kProperPair;
+        rec.tlen = reverse ? -frag_len : frag_len;
+      } else {
+        rec.tlen = 0;
+      }
+      // Stored SEQ is reference-orientation; the simulator builds reads in
+      // reference orientation already, so no flip here. Qualities align.
+      rec.seq = sim.seq;
+      rec.qual = sim.qual;
+      if (!unmapped) {
+        add_tags(rec, sim, cfg, rng);
+      }
+    };
+
+    fill(r1, r1_sim, r1_reverse, r1_unmapped, true, r2_reverse, r2_unmapped,
+         r2_sim);
+    fill(r2, r2_sim, r2_reverse, r2_unmapped, false, r1_reverse, r1_unmapped,
+         r1_sim);
+    records.push_back(std::move(r1));
+    records.push_back(std::move(r2));
+  }
+
+  // Coordinate sort, unmapped at the end: what `samtools sort` would emit.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const AlignmentRecord& a, const AlignmentRecord& b) {
+                     uint32_t ra = static_cast<uint32_t>(a.ref_id);
+                     uint32_t rb = static_cast<uint32_t>(b.ref_id);
+                     if (ra != rb) {
+                       return ra < rb;
+                     }
+                     return a.pos < b.pos;
+                   });
+  return records;
+}
+
+uint64_t write_sam_dataset(const std::string& path,
+                           const ReferenceGenome& genome, uint64_t n_pairs,
+                           const ReadSimConfig& cfg) {
+  auto records = simulate_alignments(genome, n_pairs, cfg);
+  sam::SamFileWriter writer(path, genome.header());
+  for (const auto& rec : records) {
+    writer.write(rec);
+  }
+  writer.close();
+  return records.size();
+}
+
+uint64_t write_bam_dataset(const std::string& path,
+                           const ReferenceGenome& genome, uint64_t n_pairs,
+                           const ReadSimConfig& cfg) {
+  auto records = simulate_alignments(genome, n_pairs, cfg);
+  bam::BamFileWriter writer(path, genome.header());
+  for (const auto& rec : records) {
+    writer.write(rec);
+  }
+  writer.close();
+  return records.size();
+}
+
+}  // namespace ngsx::simdata

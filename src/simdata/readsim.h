@@ -1,0 +1,53 @@
+// ngsx/simdata/readsim.h
+//
+// Illumina-like paired-end read/alignment simulator. Stands in for the
+// paper's experimental input: "paired-end 90bp sequence reads ... Illumina
+// HiSeq 2000 ... aligned to mm9 with BWA" (§V). The simulator produces the
+// *output of that pipeline* directly — coordinate-sorted alignment records
+// with realistic flags, CIGARs (indels and soft clips), mate fields,
+// template lengths, Phred qualities and aux tags (NM/AS/MD and occasional
+// array tags) — so every converter code path sees the same record
+// statistics the real data would produce.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simdata/reference.h"
+
+namespace ngsx::simdata {
+
+/// Simulation parameters. Defaults mirror the paper's data description.
+struct ReadSimConfig {
+  uint32_t read_length = 90;          // HiSeq 2000, 90 bp (paper §V)
+  double fragment_mean = 300.0;       // insert size
+  double fragment_sd = 40.0;
+  double base_error_rate = 0.004;     // substitution sequencing errors
+  double indel_rate = 0.02;           // fraction of reads with an indel
+  double softclip_rate = 0.03;        // fraction of reads with a soft clip
+  double unmapped_rate = 0.01;        // fraction of *reads* left unmapped
+  double duplicate_rate = 0.01;       // PCR duplicate flagging
+  double md_tag_rate = 0.5;           // fraction of reads carrying MD:Z
+  double array_tag_rate = 0.002;      // fraction carrying a B-array tag
+  uint64_t seed = 42;
+};
+
+/// Simulates `n_pairs` read pairs against `genome` and returns the
+/// resulting alignment records sorted by coordinate (unmapped last), as a
+/// sorted BAM produced by an aligner + sort step would contain.
+std::vector<sam::AlignmentRecord> simulate_alignments(
+    const ReferenceGenome& genome, uint64_t n_pairs,
+    const ReadSimConfig& config);
+
+/// Convenience writers: simulate and persist in one step. Return the number
+/// of records written.
+uint64_t write_sam_dataset(const std::string& path,
+                           const ReferenceGenome& genome, uint64_t n_pairs,
+                           const ReadSimConfig& config);
+uint64_t write_bam_dataset(const std::string& path,
+                           const ReferenceGenome& genome, uint64_t n_pairs,
+                           const ReadSimConfig& config);
+
+}  // namespace ngsx::simdata

@@ -1,0 +1,250 @@
+#include "stats/fdr.h"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "core/partition.h"
+#include "mpi/minimpi.h"
+#include "util/common.h"
+
+namespace ngsx::stats {
+
+namespace {
+
+void validate(std::span<const double> histogram, const SimulationSet& sims) {
+  NGSX_CHECK_MSG(!sims.empty(), "FDR requires at least one simulation");
+  for (const auto& sim : sims) {
+    NGSX_CHECK_MSG(sim.size() == histogram.size(),
+                   "simulation/histogram bin count mismatch");
+  }
+}
+
+/// Gathers bin i's simulated reads into a contiguous column so the B^2
+/// rank counting streams linearly instead of striding across B vectors.
+/// Both the fused and the two-pass variants use this same inner kernel,
+/// so their comparison isolates the *fusion* itself.
+void gather_column(const SimulationSet& sims, size_t i,
+                   std::vector<double>& column) {
+  column.resize(sims.size());
+  for (size_t b = 0; b < sims.size(); ++b) {
+    column[b] = sims[b][i];
+  }
+}
+
+/// sum_b I( sum_b' I(col[b] <= col[b']) <= p_t ) for one bin's column.
+int64_t column_diamond(const std::vector<double>& column, int p_t) {
+  int64_t diamond = 0;
+  const size_t b_count = column.size();
+  for (size_t b = 0; b < b_count; ++b) {
+    int64_t rank_of_b = 0;
+    const double v = column[b];
+    for (size_t bp = 0; bp < b_count; ++bp) {
+      rank_of_b += v <= column[bp] ? 1 : 0;
+    }
+    if (rank_of_b <= p_t) {
+      ++diamond;
+    }
+  }
+  return diamond;
+}
+
+/// Fused per-bin component sums over bins [lo, hi):
+///   sum_diamond = sum_i sum_b I( sum_b' I(r*_ib <= r*_ib') <= p_t )
+///   sum_star    = sum_i I( p_i <= p_t )
+/// Both accumulate in the same sweep (the summation permutation of
+/// eqs. 7-9): this is the unit of work Algorithm 2 hands to each rank.
+void fused_local_sums(std::span<const double> histogram,
+                      const SimulationSet& sims, int p_t, size_t lo,
+                      size_t hi, int64_t& sum_diamond, int64_t& sum_star) {
+  const size_t b_count = sims.size();
+  sum_diamond = 0;
+  sum_star = 0;
+  std::vector<double> column;
+  for (size_t i = lo; i < hi; ++i) {
+    gather_column(sims, i, column);
+    // sum_star component: p_i = sum_b I(r_i <= r*_ib) — reuses the column
+    // the diamond kernel is about to stream (the fusion win).
+    int64_t p_i = 0;
+    for (size_t b = 0; b < b_count; ++b) {
+      p_i += histogram[i] <= column[b] ? 1 : 0;
+    }
+    if (p_i <= p_t) {
+      ++sum_star;
+    }
+    sum_diamond += column_diamond(column, p_t);
+  }
+}
+
+FdrResult make_result(int64_t sum_diamond, int64_t sum_star, size_t b_count) {
+  FdrResult res;
+  res.numerator =
+      static_cast<double>(sum_diamond) / static_cast<double>(b_count);
+  res.denominator = static_cast<double>(sum_star);
+  res.fdr = res.denominator == 0.0 ? 0.0 : res.numerator / res.denominator;
+  return res;
+}
+
+}  // namespace
+
+FdrResult fdr_reference(std::span<const double> histogram,
+                        const SimulationSet& sims, int p_t) {
+  validate(histogram, sims);
+  const size_t m = histogram.size();
+  const size_t b_count = sims.size();
+
+  // Equation 5: d_b per simulation round.
+  int64_t sum_d = 0;
+  for (size_t b = 0; b < b_count; ++b) {
+    int64_t d_b = 0;
+    for (size_t i = 0; i < m; ++i) {
+      int64_t inner = 0;
+      for (size_t bp = 0; bp < b_count; ++bp) {
+        inner += sims[b][i] <= sims[bp][i] ? 1 : 0;
+      }
+      if (inner <= p_t) {
+        ++d_b;
+      }
+    }
+    sum_d += d_b;
+  }
+
+  // Equation 4 + denominator of equation 6.
+  int64_t denom = 0;
+  for (size_t i = 0; i < m; ++i) {
+    int64_t p_i = 0;
+    for (size_t b = 0; b < b_count; ++b) {
+      p_i += histogram[i] <= sims[b][i] ? 1 : 0;
+    }
+    if (p_i <= p_t) {
+      ++denom;
+    }
+  }
+  return make_result(sum_d, denom, b_count);
+}
+
+FdrResult fdr_fused(std::span<const double> histogram,
+                    const SimulationSet& sims, int p_t) {
+  validate(histogram, sims);
+  int64_t sum_diamond = 0;
+  int64_t sum_star = 0;
+  fused_local_sums(histogram, sims, p_t, 0, histogram.size(), sum_diamond,
+                   sum_star);
+  return make_result(sum_diamond, sum_star, sims.size());
+}
+
+FdrResult fdr_parallel(std::span<const double> histogram,
+                       const SimulationSet& sims, int p_t, int ranks) {
+  validate(histogram, sims);
+  NGSX_CHECK_MSG(ranks >= 1, "ranks must be >= 1");
+  auto parts = core::split_records(histogram.size(), ranks);
+  FdrResult result;
+
+  mpi::run(ranks, [&](mpi::Comm& comm) {
+    // Algorithm 2, lines 1-3: bin-direction partition, fused local sums.
+    auto [lo, hi] = parts[static_cast<size_t>(comm.rank())];
+    int64_t local_diamond = 0;
+    int64_t local_star = 0;
+    fused_local_sums(histogram, sims, p_t, lo, hi, local_diamond,
+                     local_star);
+    // Line 4: global barrier.
+    comm.barrier();
+    // Lines 5-8: master gathers both local sums at once and computes FDR.
+    struct Sums {
+      int64_t diamond;
+      int64_t star;
+    };
+    auto gathered =
+        comm.gather_values<Sums>(0, Sums{local_diamond, local_star});
+    if (comm.rank() == 0) {
+      int64_t sum_diamond = 0;
+      int64_t sum_star = 0;
+      for (const Sums& s : gathered) {
+        sum_diamond += s.diamond;
+        sum_star += s.star;
+      }
+      result = make_result(sum_diamond, sum_star, sims.size());
+    }
+  });
+  return result;
+}
+
+FdrResult fdr_parallel_two_pass(std::span<const double> histogram,
+                                const SimulationSet& sims, int p_t,
+                                int ranks) {
+  validate(histogram, sims);
+  NGSX_CHECK_MSG(ranks >= 1, "ranks must be >= 1");
+  auto parts = core::split_records(histogram.size(), ranks);
+  const size_t b_count = sims.size();
+  FdrResult result;
+
+  mpi::run(ranks, [&](mpi::Comm& comm) {
+    auto [lo, hi] = parts[static_cast<size_t>(comm.rank())];
+
+    // Pass 1: numerator only (same column-gathered inner kernel as the
+    // fused variant, so the comparison isolates fusion itself).
+    int64_t local_diamond = 0;
+    std::vector<double> column;
+    for (size_t i = lo; i < hi; ++i) {
+      gather_column(sims, i, column);
+      local_diamond += column_diamond(column, p_t);
+    }
+    int64_t sum_diamond = comm.reduce_sum<int64_t>(0, local_diamond);
+    comm.barrier();  // the extra global synchronization fusion removes
+
+    // Pass 2: denominator — re-streams the simulation columns that the
+    // fused variant piggybacked on pass 1.
+    int64_t local_star = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      gather_column(sims, i, column);
+      int64_t p_i = 0;
+      for (size_t b = 0; b < b_count; ++b) {
+        p_i += histogram[i] <= column[b] ? 1 : 0;
+      }
+      if (p_i <= p_t) {
+        ++local_star;
+      }
+    }
+    int64_t sum_star = comm.reduce_sum<int64_t>(0, local_star);
+    if (comm.rank() == 0) {
+      result = make_result(sum_diamond, sum_star, b_count);
+    }
+  });
+  return result;
+}
+
+FdrResult fdr_parallel_omp(std::span<const double> histogram,
+                           const SimulationSet& sims, int p_t, int threads) {
+  validate(histogram, sims);
+  NGSX_CHECK_MSG(threads >= 1, "threads must be >= 1");
+  auto parts = core::split_records(histogram.size(), threads);
+  int64_t sum_diamond = 0;
+  int64_t sum_star = 0;
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(+ : sum_diamond, sum_star)
+  for (int t = 0; t < threads; ++t) {
+    auto [lo, hi] = parts[static_cast<size_t>(t)];
+    int64_t local_diamond = 0;
+    int64_t local_star = 0;
+    fused_local_sums(histogram, sims, p_t, lo, hi, local_diamond,
+                     local_star);
+    sum_diamond += local_diamond;
+    sum_star += local_star;
+  }
+  return make_result(sum_diamond, sum_star, sims.size());
+}
+
+int select_threshold(std::span<const double> histogram,
+                     const SimulationSet& sims, double target_fdr) {
+  validate(histogram, sims);
+  const int b_count = static_cast<int>(sims.size());
+  for (int p_t = 0; p_t <= b_count; ++p_t) {
+    FdrResult res = fdr_fused(histogram, sims, p_t);
+    if (res.denominator > 0 && res.fdr <= target_fdr) {
+      return p_t;
+    }
+  }
+  return -1;
+}
+
+}  // namespace ngsx::stats

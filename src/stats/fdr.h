@@ -1,0 +1,69 @@
+// ngsx/stats/fdr.h
+//
+// False Discovery Rate computation for peak-threshold selection (§IV-B,
+// after Han et al. 2012). Given an observed histogram (M bins) and B
+// null-simulation datasets, for an integer threshold p_t:
+//
+//   p_i      = sum_b  I(r_i <= r*_ib)                        (eq. 4)
+//   d_b      = sum_i  I( sum_b' I(r*_ib <= r*_ib') <= p_t )  (eq. 5)
+//   FDR(p_t) = (B^-1 sum_b d_b) / (sum_i I(p_i <= p_t))      (eq. 6)
+//
+// Complexity Theta(M B^2). The paper's key optimization is a *summation
+// permutation* (eqs. 7-9) that moves the bin-direction sum outermost so the
+// numerator and denominator accumulate concurrently in a single pass —
+// fdr_fused — which the parallel Algorithm 2 then partitions in the bin
+// direction with one final gather, avoiding a second global
+// synchronization. All variants return exactly equal values (tested).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ngsx::stats {
+
+/// The B simulation datasets: sims[b][i] is bin i of simulation b. All
+/// rows must have the same length as the histogram.
+using SimulationSet = std::vector<std::vector<double>>;
+
+/// Result decomposition, exposed so callers (and tests) can inspect the
+/// numerator/denominator pair as well as the ratio.
+struct FdrResult {
+  double numerator = 0.0;    // B^-1 sum_b d_b
+  double denominator = 0.0;  // sum_i I(p_i <= p_t)
+  double fdr = 0.0;          // numerator / denominator (0 if denom == 0)
+};
+
+/// Literal transcription of equations 4-6 (two separate nested loops);
+/// the correctness oracle for everything else.
+FdrResult fdr_reference(std::span<const double> histogram,
+                        const SimulationSet& sims, int p_t);
+
+/// Single-pass fused form per equations 7-9 (sequential).
+FdrResult fdr_fused(std::span<const double> histogram,
+                    const SimulationSet& sims, int p_t);
+
+/// Algorithm 2: bin-direction partitioning across `ranks` minimpi ranks,
+/// fused local sums, one gather at the master.
+FdrResult fdr_parallel(std::span<const double> histogram,
+                       const SimulationSet& sims, int p_t, int ranks);
+
+/// Ablation baseline: the *unfused* parallelization the paper argues
+/// against — numerator pass, global synchronization, then denominator
+/// pass (two gathers + an extra barrier).
+FdrResult fdr_parallel_two_pass(std::span<const double> histogram,
+                                const SimulationSet& sims, int p_t,
+                                int ranks);
+
+/// Shared-memory fused variant (OpenMP reduction over bins).
+FdrResult fdr_parallel_omp(std::span<const double> histogram,
+                           const SimulationSet& sims, int p_t, int threads);
+
+/// Sweeps FDR over thresholds 0..B and returns the smallest p_t whose FDR
+/// is <= `target_fdr` (the procedure's end use: threshold selection).
+/// Returns -1 when no threshold qualifies.
+int select_threshold(std::span<const double> histogram,
+                     const SimulationSet& sims, double target_fdr);
+
+}  // namespace ngsx::stats

@@ -1,0 +1,215 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "core/partition.h"
+#include "formats/bam.h"
+#include "formats/bamx.h"
+#include "mpi/minimpi.h"
+#include "util/binio.h"
+#include "util/strutil.h"
+
+namespace ngsx::stats {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+CoverageHistogram::CoverageHistogram(const SamHeader& header,
+                                     int32_t bin_size)
+    : header_(header), bin_size_(bin_size) {
+  NGSX_CHECK_MSG(bin_size >= 1, "bin size must be positive");
+  per_ref_.reserve(header_.references().size());
+  for (const auto& ref : header_.references()) {
+    size_t n = static_cast<size_t>((ref.length + bin_size - 1) / bin_size);
+    per_ref_.emplace_back(n, 0.0);
+  }
+}
+
+bool CoverageHistogram::add(const AlignmentRecord& rec) {
+  if (rec.ref_id < 0 || rec.pos < 0 || rec.is_unmapped()) {
+    return false;
+  }
+  auto& bins = per_ref_[static_cast<size_t>(rec.ref_id)];
+  if (bins.empty()) {
+    return false;
+  }
+  size_t first = static_cast<size_t>(rec.pos) / static_cast<size_t>(bin_size_);
+  size_t last = static_cast<size_t>(std::max(rec.end_pos() - 1, rec.pos)) /
+                static_cast<size_t>(bin_size_);
+  first = std::min(first, bins.size() - 1);
+  last = std::min(last, bins.size() - 1);
+  for (size_t b = first; b <= last; ++b) {
+    bins[b] += 1.0;
+  }
+  return true;
+}
+
+const std::vector<double>& CoverageHistogram::bins(int32_t ref_id) const {
+  NGSX_CHECK_MSG(
+      ref_id >= 0 && static_cast<size_t>(ref_id) < per_ref_.size(),
+      "reference id out of range");
+  return per_ref_[static_cast<size_t>(ref_id)];
+}
+
+std::vector<double>& CoverageHistogram::mutable_bins(int32_t ref_id) {
+  NGSX_CHECK_MSG(
+      ref_id >= 0 && static_cast<size_t>(ref_id) < per_ref_.size(),
+      "reference id out of range");
+  return per_ref_[static_cast<size_t>(ref_id)];
+}
+
+std::vector<double> CoverageHistogram::flatten() const {
+  std::vector<double> out;
+  out.reserve(total_bins());
+  for (const auto& bins : per_ref_) {
+    out.insert(out.end(), bins.begin(), bins.end());
+  }
+  return out;
+}
+
+size_t CoverageHistogram::total_bins() const {
+  size_t total = 0;
+  for (const auto& bins : per_ref_) {
+    total += bins.size();
+  }
+  return total;
+}
+
+void CoverageHistogram::write_bedgraph(const std::string& path) const {
+  OutputFile out(path);
+  std::string line;
+  for (size_t r = 0; r < per_ref_.size(); ++r) {
+    const auto& bins = per_ref_[r];
+    std::string_view chrom = header_.references()[r].name;
+    int64_t ref_len = header_.references()[r].length;
+    size_t run_start = 0;
+    for (size_t b = 1; b <= bins.size(); ++b) {
+      if (b == bins.size() || bins[b] != bins[run_start]) {
+        line.clear();
+        line += chrom;
+        line += '\t';
+        strutil::append_uint(line, run_start * static_cast<size_t>(bin_size_));
+        line += '\t';
+        int64_t end = static_cast<int64_t>(b) * bin_size_;
+        strutil::append_int(line, std::min(end, ref_len));
+        line += '\t';
+        strutil::append_double(line, bins[run_start]);
+        line += '\n';
+        out.write(line);
+        run_start = b;
+      }
+    }
+  }
+  out.close();
+}
+
+CoverageHistogram CoverageHistogram::read_bedgraph(const std::string& path,
+                                                   const SamHeader& header,
+                                                   int32_t bin_size) {
+  CoverageHistogram hist(header, bin_size);
+  std::string data = read_file(path);
+  std::vector<std::string_view> fields;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t nl = data.find('\n', pos);
+    std::string_view line(data.data() + pos,
+                          (nl == std::string::npos ? data.size() : nl) - pos);
+    pos = nl == std::string::npos ? data.size() : nl + 1;
+    if (line.empty() || line[0] == '#' ||
+        strutil::starts_with(line, "track")) {
+      continue;
+    }
+    strutil::split(line, '\t', fields);
+    if (fields.size() < 4) {
+      throw FormatError("BEDGRAPH line with fewer than 4 fields");
+    }
+    int32_t ref = header.ref_id(fields[0]);
+    if (ref < 0) {
+      throw FormatError("unknown chromosome '" + std::string(fields[0]) +
+                        "' in BEDGRAPH");
+    }
+    int64_t beg = strutil::parse_int<int64_t>(fields[1], "bedgraph start");
+    int64_t end = strutil::parse_int<int64_t>(fields[2], "bedgraph end");
+    double value = strutil::parse_double(fields[3], "bedgraph value");
+    auto& bins = hist.mutable_bins(ref);
+    for (int64_t p = beg; p < end; p += bin_size) {
+      size_t b = static_cast<size_t>(p / bin_size);
+      if (b < bins.size()) {
+        bins[b] = value;
+      }
+    }
+  }
+  return hist;
+}
+
+CoverageHistogram histogram_from_bam(const std::string& bam_path,
+                                     int32_t bin_size) {
+  bam::BamFileReader reader(bam_path);
+  CoverageHistogram hist(reader.header(), bin_size);
+  AlignmentRecord rec;
+  while (reader.next(rec)) {
+    hist.add(rec);
+  }
+  return hist;
+}
+
+CoverageHistogram histogram_from_sam(const std::string& sam_path,
+                                     int32_t bin_size) {
+  sam::SamFileReader reader(sam_path);
+  CoverageHistogram hist(reader.header(), bin_size);
+  AlignmentRecord rec;
+  while (reader.next(rec)) {
+    hist.add(rec);
+  }
+  return hist;
+}
+
+CoverageHistogram histogram_from_bamx_parallel(const std::string& bamx_path,
+                                               int32_t bin_size, int ranks) {
+  NGSX_CHECK_MSG(ranks >= 1, "ranks must be >= 1");
+  bamx::BamxReader probe(bamx_path);
+  const SamHeader header = probe.header();
+  const uint64_t n_records = probe.num_records();
+  const size_t n_refs = header.references().size();
+
+  CoverageHistogram result(header, bin_size);
+  mpi::run(ranks, [&](mpi::Comm& comm) {
+    bamx::BamxReader reader(bamx_path);
+    CoverageHistogram local(header, bin_size);
+    auto parts = core::split_records(n_records, comm.size());
+    auto [begin, end] = parts[static_cast<size_t>(comm.rank())];
+    std::vector<AlignmentRecord> batch;
+    for (uint64_t at = begin; at < end;) {
+      uint64_t take = std::min<uint64_t>(4096, end - at);
+      batch.clear();
+      reader.read_range(at, at + take, batch);
+      for (const AlignmentRecord& rec : batch) {
+        local.add(rec);
+      }
+      at += take;
+    }
+    // Sum-reduce per-chromosome bin vectors at rank 0, one message per
+    // chromosome (tag = reference id).
+    if (comm.rank() != 0) {
+      for (size_t ref = 0; ref < n_refs; ++ref) {
+        comm.send_vector<double>(0, static_cast<int>(ref),
+                                 local.bins(static_cast<int32_t>(ref)));
+      }
+    } else {
+      for (size_t ref = 0; ref < n_refs; ++ref) {
+        auto& bins = result.mutable_bins(static_cast<int32_t>(ref));
+        bins = local.bins(static_cast<int32_t>(ref));
+        for (int r = 1; r < comm.size(); ++r) {
+          auto remote = comm.recv_vector<double>(r, static_cast<int>(ref));
+          NGSX_CHECK(remote.size() == bins.size());
+          for (size_t b = 0; b < bins.size(); ++b) {
+            bins[b] += remote[b];
+          }
+        }
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace ngsx::stats

@@ -1,0 +1,195 @@
+#include "util/binio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ngsx {
+
+namespace {
+std::string errno_message(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+// ----------------------------------------------------------------- InputFile
+
+InputFile::InputFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw IoError(errno_message("open", path));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw IoError(errno_message("stat", path));
+  }
+  size_ = static_cast<uint64_t>(st.st_size);
+}
+
+InputFile::~InputFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+InputFile::InputFile(InputFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      size_(other.size_),
+      path_(std::move(other.path_)) {}
+
+InputFile& InputFile::operator=(InputFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+size_t InputFile::pread(void* buf, size_t n, uint64_t offset) const {
+  char* out = static_cast<char*>(buf);
+  size_t total = 0;
+  while (total < n) {
+    ssize_t got = ::pread(fd_, out + total, n - total,
+                          static_cast<off_t>(offset + total));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw IoError(errno_message("pread", path_));
+    }
+    if (got == 0) {
+      break;  // EOF
+    }
+    total += static_cast<size_t>(got);
+  }
+  return total;
+}
+
+void InputFile::pread_exact(void* buf, size_t n, uint64_t offset) const {
+  size_t got = pread(buf, n, offset);
+  if (got != n) {
+    throw IoError("short read from '" + path_ + "': wanted " +
+                  std::to_string(n) + " bytes at offset " +
+                  std::to_string(offset) + ", got " + std::to_string(got));
+  }
+}
+
+std::string InputFile::read_at(uint64_t offset, size_t n) const {
+  std::string out(n, '\0');
+  size_t got = pread(out.data(), n, offset);
+  out.resize(got);
+  return out;
+}
+
+// ---------------------------------------------------------------- OutputFile
+
+OutputFile::OutputFile(const std::string& path, size_t buffer_bytes)
+    : buffer_cap_(buffer_bytes), path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw IoError(errno_message("open for write", path));
+  }
+  buffer_.reserve(buffer_cap_);
+}
+
+OutputFile::~OutputFile() {
+  try {
+    close();
+  } catch (const Error&) {
+    // Destructors must not throw; callers that care call close() explicitly.
+  }
+}
+
+void OutputFile::write(std::string_view data) {
+  write(data.data(), data.size());
+}
+
+void OutputFile::write(const void* data, size_t n) {
+  NGSX_CHECK_MSG(fd_ >= 0, "write after close on " + path_);
+  bytes_written_ += n;
+  const char* p = static_cast<const char*>(data);
+  // Large writes bypass the buffer to avoid an extra copy.
+  if (n >= buffer_cap_) {
+    flush();
+    size_t total = 0;
+    while (total < n) {
+      ssize_t put = ::write(fd_, p + total, n - total);
+      if (put < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        throw IoError(errno_message("write", path_));
+      }
+      total += static_cast<size_t>(put);
+    }
+    return;
+  }
+  if (buffer_.size() + n > buffer_cap_) {
+    flush();
+  }
+  buffer_.append(p, n);
+}
+
+void OutputFile::flush() {
+  if (buffer_.empty()) {
+    return;
+  }
+  size_t total = 0;
+  while (total < buffer_.size()) {
+    ssize_t put = ::write(fd_, buffer_.data() + total, buffer_.size() - total);
+    if (put < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw IoError(errno_message("write", path_));
+    }
+    total += static_cast<size_t>(put);
+  }
+  buffer_.clear();
+}
+
+void OutputFile::close() {
+  if (fd_ < 0) {
+    return;
+  }
+  flush();
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throw IoError(errno_message("close", path_));
+  }
+  fd_ = -1;
+}
+
+// ------------------------------------------------------------- free helpers
+
+std::string read_file(const std::string& path) {
+  InputFile in(path);
+  return in.read_at(0, in.size());
+}
+
+void write_file(const std::string& path, std::string_view data) {
+  OutputFile out(path);
+  out.write(data);
+  out.close();
+}
+
+uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    throw IoError(errno_message("stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace ngsx

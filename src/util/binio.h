@@ -1,0 +1,194 @@
+// ngsx/util/binio.h
+//
+// Little-endian binary encoding/decoding and positioned file I/O.
+//
+// All on-disk integers in BAM/BGZF/BAMX/BAIX are little-endian regardless of
+// host endianness (SAM spec §4.1); these helpers make that explicit and keep
+// the format code free of casts.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ngsx {
+
+// ---------------------------------------------------------------------------
+// In-memory little-endian primitives.
+// ---------------------------------------------------------------------------
+
+namespace binio {
+
+/// Appends `v` to `out` in little-endian byte order.
+template <typename T>
+inline void put_le(std::string& out, T v) {
+  static_assert(std::is_arithmetic_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+/// Writes `v` at `out[pos]` (must be in range) in little-endian byte order.
+template <typename T>
+inline void poke_le(std::string& out, size_t pos, T v) {
+  static_assert(std::is_arithmetic_v<T>);
+  NGSX_CHECK(pos + sizeof(T) <= out.size());
+  std::memcpy(out.data() + pos, &v, sizeof(T));
+}
+
+/// Reads a little-endian value of type T from `data` at `pos`.
+/// Throws FormatError if out of range.
+template <typename T>
+inline T get_le(std::string_view data, size_t pos) {
+  static_assert(std::is_arithmetic_v<T>);
+  if (pos + sizeof(T) > data.size()) {
+    throw FormatError("truncated read of " + std::to_string(sizeof(T)) +
+                      " bytes at offset " + std::to_string(pos));
+  }
+  T v;
+  std::memcpy(&v, data.data() + pos, sizeof(T));
+  return v;
+}
+
+}  // namespace binio
+
+// ---------------------------------------------------------------------------
+// Cursor over an in-memory buffer; used by the BAM/BAMX decoders.
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked forward reader over a byte buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T read() {
+    T v = binio::get_le<T>(data_, pos_);
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  /// Reads `n` raw bytes.
+  std::string_view read_bytes(size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw FormatError("truncated read of " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_));
+    }
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  /// Reads a NUL-terminated string (consumes the NUL).
+  std::string_view read_cstr() {
+    size_t end = data_.find('\0', pos_);
+    if (end == std::string_view::npos) {
+      throw FormatError("unterminated string at offset " +
+                        std::to_string(pos_));
+    }
+    std::string_view v = data_.substr(pos_, end - pos_);
+    pos_ = end + 1;
+    return v;
+  }
+
+  void skip(size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw FormatError("skip past end of buffer");
+    }
+    pos_ += n;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool eof() const { return pos_ >= data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Positioned (pread-style) file access.
+// ---------------------------------------------------------------------------
+
+/// Read-only random-access view of a file. Thread-compatible: concurrent
+/// reads through distinct InputFile instances (or pread on the same
+/// instance) are safe, which is what the per-rank converter loops rely on.
+class InputFile {
+ public:
+  explicit InputFile(const std::string& path);
+  ~InputFile();
+
+  InputFile(const InputFile&) = delete;
+  InputFile& operator=(const InputFile&) = delete;
+  InputFile(InputFile&& other) noexcept;
+  InputFile& operator=(InputFile&& other) noexcept;
+
+  /// Total file size in bytes.
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads up to `n` bytes at absolute `offset` into `buf`; returns the
+  /// number of bytes read (short only at EOF).
+  size_t pread(void* buf, size_t n, uint64_t offset) const;
+
+  /// Reads exactly `n` bytes at `offset`; throws IoError on short read.
+  void pread_exact(void* buf, size_t n, uint64_t offset) const;
+
+  /// Convenience: reads [offset, offset+n) into a string (short at EOF).
+  std::string read_at(uint64_t offset, size_t n) const;
+
+ private:
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  std::string path_;
+};
+
+/// Buffered sequential file writer (append-only).
+class OutputFile {
+ public:
+  explicit OutputFile(const std::string& path, size_t buffer_bytes = 1 << 20);
+  ~OutputFile();
+
+  OutputFile(const OutputFile&) = delete;
+  OutputFile& operator=(const OutputFile&) = delete;
+
+  void write(std::string_view data);
+  void write(const void* data, size_t n);
+
+  /// Flushes the userspace buffer to the OS.
+  void flush();
+
+  /// Flushes and closes; further writes are errors. Called by the destructor
+  /// if not called explicitly (destructor swallows errors; call close() when
+  /// you need them reported).
+  void close();
+
+  /// Bytes written so far (including still-buffered bytes).
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  size_t buffer_cap_;
+  uint64_t bytes_written_ = 0;
+  std::string path_;
+};
+
+/// Reads an entire file into a string. Throws IoError on failure.
+std::string read_file(const std::string& path);
+
+/// Writes `data` to `path`, replacing any existing contents.
+void write_file(const std::string& path, std::string_view data);
+
+/// Returns the size of the file at `path` in bytes.
+uint64_t file_size(const std::string& path);
+
+}  // namespace ngsx

@@ -1,0 +1,42 @@
+// ngsx/util/cli.h
+//
+// Minimal command-line flag parser for the example programs and benchmark
+// harnesses: `--name=value` / `--name value` / boolean `--name`.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ngsx {
+
+/// Parses flags of the form --key=value, --key value, and bare --key, plus
+/// positional arguments. Unknown flags are kept and reported on demand so
+/// each tool can validate its own set.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& def) const;
+  int64_t get_int(const std::string& name, int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  /// All flags seen, for validation / usage errors.
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ngsx

@@ -1,0 +1,21 @@
+#include "util/common.h"
+
+namespace ngsx::detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  std::string what = "ngsx check failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " (";
+    what += msg;
+    what += ")";
+  }
+  throw Error(what);
+}
+
+}  // namespace ngsx::detail

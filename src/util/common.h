@@ -1,0 +1,67 @@
+// ngsx/util/common.h
+//
+// Error handling and small shared helpers used across the ngsx libraries.
+//
+// ngsx reports unrecoverable conditions (corrupt files, I/O failures,
+// protocol violations) through exceptions derived from ngsx::Error so that
+// callers can distinguish library failures from std exceptions, and uses
+// NGSX_CHECK for internal invariants.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ngsx {
+
+/// Base class for all errors thrown by ngsx libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a file cannot be opened, read, or written.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("ngsx I/O error: " + what) {}
+};
+
+/// Thrown when an input file violates its format specification
+/// (truncated BAM record, bad BGZF magic, malformed SAM line, ...).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what)
+      : Error("ngsx format error: " + what) {}
+};
+
+/// Thrown when an API is used incorrectly (bad arguments, wrong state).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what)
+      : Error("ngsx usage error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+}  // namespace detail
+
+/// Internal invariant check: always on (the cost is negligible next to I/O
+/// and parsing), throws ngsx::Error with file/line context on failure.
+#define NGSX_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ngsx::detail::check_failed(__FILE__, __LINE__, #expr, "");      \
+    }                                                                   \
+  } while (0)
+
+#define NGSX_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ngsx::detail::check_failed(__FILE__, __LINE__, #expr, (msg));   \
+    }                                                                   \
+  } while (0)
+
+}  // namespace ngsx

@@ -1,0 +1,124 @@
+// ngsx/util/rng.h
+//
+// Deterministic, fast PRNG (xoshiro256**) for the data simulator and the
+// statistics benchmarks. std::mt19937 is avoided deliberately: the read
+// simulator draws billions of variates when generating large datasets, and
+// xoshiro is both faster and trivially seedable for reproducible fixtures.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ngsx {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, adapted). Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-seeds via splitmix64 so that nearby seeds give unrelated streams.
+  void reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t below(uint64_t bound) {
+    if (bound <= 1) {
+      return 0;
+    }
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = __builtin_sqrt(-2.0 * __builtin_log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  /// Poisson variate (Knuth for small lambda, normal approx for large).
+  uint64_t poisson(double lambda) {
+    if (lambda <= 0) {
+      return 0;
+    }
+    if (lambda > 30.0) {
+      double x = lambda + __builtin_sqrt(lambda) * normal();
+      return x < 0 ? 0 : static_cast<uint64_t>(x + 0.5);
+    }
+    double l = __builtin_exp(-lambda);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Geometric-ish exponential variate with given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * __builtin_log(u);
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ngsx

@@ -1,0 +1,99 @@
+#include "util/strutil.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace ngsx::strutil {
+
+void split(std::string_view line, char sep,
+           std::vector<std::string_view>& out) {
+  out.clear();
+  size_t start = 0;
+  while (true) {
+    size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> out;
+  split(line, sep, out);
+  return out;
+}
+
+double parse_double(std::string_view s, const char* what) {
+  double v{};
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw FormatError(std::string("bad number for ") + what + ": '" +
+                      std::string(s) + "'");
+  }
+  return v;
+}
+
+void append_int(std::string& out, int64_t v) {
+  std::array<char, 24> buf;
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  NGSX_CHECK(ec == std::errc());
+  out.append(buf.data(), ptr);
+}
+
+void append_uint(std::string& out, uint64_t v) {
+  std::array<char, 24> buf;
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  NGSX_CHECK(ec == std::errc());
+  out.append(buf.data(), ptr);
+}
+
+void append_double(std::string& out, double v) {
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    append_int(out, static_cast<int64_t>(v));
+    return;
+  }
+  std::array<char, 40> buf;
+  int n = std::snprintf(buf.data(), buf.size(), "%.6g", v);
+  NGSX_CHECK(n > 0 && static_cast<size_t>(n) < buf.size());
+  out.append(buf.data(), static_cast<size_t>(n));
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' ||
+                   s[b] == '\n')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace ngsx::strutil

@@ -1,0 +1,67 @@
+// ngsx/util/strutil.h
+//
+// Allocation-light string splitting and number parsing used by the SAM text
+// parser, which is the single hottest loop in the converter framework.
+
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ngsx::strutil {
+
+/// Splits `line` on `sep` into `out` (cleared first) without copying.
+/// Adjacent separators yield empty fields, matching SAM/BED semantics.
+void split(std::string_view line, char sep, std::vector<std::string_view>& out);
+
+/// Returns the fields of `line` split on `sep`.
+std::vector<std::string_view> split(std::string_view line, char sep);
+
+/// Parses a decimal integer; throws FormatError with `what` context on
+/// failure or trailing garbage.
+template <typename T>
+T parse_int(std::string_view s, const char* what) {
+  T v{};
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw FormatError(std::string("bad integer for ") + what + ": '" +
+                      std::string(s) + "'");
+  }
+  return v;
+}
+
+/// Parses a floating-point value; throws FormatError on failure.
+double parse_double(std::string_view s, const char* what);
+
+/// Appends the decimal representation of `v` to `out` without allocating
+/// a temporary string.
+void append_int(std::string& out, int64_t v);
+void append_uint(std::string& out, uint64_t v);
+
+/// Appends `v` with up to 6 significant digits, trimming trailing zeros
+/// ("12.5", "0.25", "3"); the BEDGRAPH/JSON/YAML writers share this.
+void append_double(std::string& out, double v);
+
+/// True if `s` starts with `prefix`.
+inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// True if `s` ends with `suffix`.
+inline bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Escapes `s` as the body of a double-quoted JSON string.
+void append_json_escaped(std::string& out, std::string_view s);
+
+}  // namespace ngsx::strutil

@@ -1,0 +1,55 @@
+#include "util/tempdir.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/common.h"
+
+namespace fs = std::filesystem;
+
+namespace ngsx {
+
+namespace {
+uint64_t& counter() {
+  static uint64_t c = 0;
+  return c;
+}
+}  // namespace
+
+TempDir::TempDir(const std::string& tag) {
+  const char* base_env = std::getenv("TMPDIR");
+  fs::path base = base_env != nullptr ? base_env : "/tmp";
+  // PID + in-process counter keeps names unique without needing randomness.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    fs::path candidate =
+        base / (tag + "-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter()++));
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec) {
+      path_ = candidate.string();
+      return;
+    }
+  }
+  throw IoError("could not create temporary directory under " + base.string());
+}
+
+TempDir::~TempDir() {
+  if (!keep_ && !path_.empty()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);  // best effort; destructor must not throw
+  }
+}
+
+std::string TempDir::subdir(const std::string& name) const {
+  fs::path p = fs::path(path_) / name;
+  std::error_code ec;
+  fs::create_directories(p, ec);
+  if (ec) {
+    throw IoError("could not create subdirectory " + p.string());
+  }
+  return p.string();
+}
+
+}  // namespace ngsx

@@ -1,0 +1,39 @@
+// ngsx/util/tempdir.h
+//
+// RAII temporary directory for tests, benches, and example programs that
+// need scratch space for generated datasets and conversion outputs.
+
+#pragma once
+
+#include <string>
+
+namespace ngsx {
+
+/// Creates a unique directory under $TMPDIR (or /tmp) on construction and
+/// removes it recursively on destruction.
+class TempDir {
+ public:
+  /// `tag` is embedded in the directory name for debuggability.
+  explicit TempDir(const std::string& tag = "ngsx");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Joins a file name onto the directory path.
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+  /// Creates (if needed) and returns a subdirectory path.
+  std::string subdir(const std::string& name) const;
+
+  /// Disowns the directory so it survives destruction (for debugging).
+  void keep() { keep_ = true; }
+
+ private:
+  std::string path_;
+  bool keep_ = false;
+};
+
+}  // namespace ngsx

@@ -1,0 +1,32 @@
+// ngsx/util/timer.h
+//
+// Monotonic wall-clock timer used by the benchmark harnesses and the cost
+// calibration pass of the cluster simulator.
+
+#pragma once
+
+#include <chrono>
+
+namespace ngsx {
+
+/// Measures elapsed wall time from construction or the last reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ngsx

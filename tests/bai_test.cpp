@@ -1,0 +1,196 @@
+// Tests for the BAI index: build from sorted BAM, serialization, and query
+// completeness against a full scan.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "formats/bai.h"
+#include "simdata/readsim.h"
+#include "util/tempdir.h"
+
+namespace ngsx::bai {
+namespace {
+
+using sam::AlignmentRecord;
+
+struct Fixture {
+  TempDir tmp;
+  std::string bam_path;
+  std::vector<AlignmentRecord> records;
+  sam::SamHeader header;
+
+  explicit Fixture(uint64_t pairs = 400, uint64_t seed = 11) {
+    auto genome = simdata::ReferenceGenome::simulate(
+        simdata::mouse_like_references(400000), seed);
+    header = genome.header();
+    simdata::ReadSimConfig cfg;
+    cfg.seed = seed;
+    records = simdata::simulate_alignments(genome, pairs, cfg);
+    bam_path = tmp.file("f.bam");
+    bam::BamFileWriter w(bam_path, header);
+    for (const auto& rec : records) {
+      w.write(rec);
+    }
+    w.close();
+  }
+};
+
+/// All read names of records overlapping [beg, end) on ref, by full scan.
+std::multiset<std::string> scan_overlaps(const Fixture& f, int32_t ref,
+                                         int32_t beg, int32_t end) {
+  std::multiset<std::string> out;
+  for (const auto& rec : f.records) {
+    if (rec.ref_id == ref && rec.pos < end && rec.end_pos() > beg &&
+        rec.pos >= 0) {
+      out.insert(rec.qname);
+    }
+  }
+  return out;
+}
+
+/// Read names found by following index chunks and filtering by overlap.
+std::multiset<std::string> query_overlaps(const Fixture& f,
+                                          const BaiIndex& index, int32_t ref,
+                                          int32_t beg, int32_t end) {
+  std::multiset<std::string> out;
+  bam::BamFileReader reader(f.bam_path);
+  AlignmentRecord rec;
+  for (const Chunk& chunk : index.query(ref, beg, end)) {
+    reader.seek(chunk.vbeg);
+    while (reader.tell() < chunk.vend && reader.next(rec)) {
+      if (rec.ref_id == ref && rec.pos < end && rec.end_pos() > beg) {
+        out.insert(rec.qname);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(BaiIndex, BuildsForSortedBam) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  EXPECT_EQ(index.num_references(), f.header.references().size());
+}
+
+TEST(BaiIndex, QueryFindsEverythingAScanFinds) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  int64_t chr1_len = f.header.references()[0].length;
+  for (auto [beg, end] : std::vector<std::pair<int32_t, int32_t>>{
+           {0, static_cast<int32_t>(chr1_len)},
+           {0, 1000},
+           {5000, 15000},
+           {static_cast<int32_t>(chr1_len / 2),
+            static_cast<int32_t>(chr1_len / 2 + 2000)}}) {
+    EXPECT_EQ(query_overlaps(f, index, 0, beg, end),
+              scan_overlaps(f, 0, beg, end))
+        << "region [" << beg << "," << end << ")";
+  }
+}
+
+TEST(BaiIndex, QueryOtherChromosome) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  int32_t len1 = static_cast<int32_t>(f.header.references()[1].length);
+  EXPECT_EQ(query_overlaps(f, index, 1, 0, len1), scan_overlaps(f, 1, 0, len1));
+}
+
+TEST(BaiIndex, EmptyRegionEmptyResult) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  EXPECT_TRUE(index.query(0, 100, 100).empty());   // empty interval
+  EXPECT_TRUE(index.query(-1, 0, 1000).empty());   // invalid ref
+  EXPECT_TRUE(index.query(99, 0, 1000).empty());   // out-of-range ref
+}
+
+TEST(BaiIndex, SaveLoadRoundTrip) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  std::string path = f.tmp.file("f.bam.bai");
+  index.save(path);
+  BaiIndex loaded = BaiIndex::load(path);
+  EXPECT_EQ(loaded, index);
+}
+
+TEST(BaiIndex, LoadBadMagicThrows) {
+  TempDir tmp;
+  std::string path = tmp.file("bad.bai");
+  write_file(path, "NOT A BAI FILE");
+  EXPECT_THROW(BaiIndex::load(path), FormatError);
+}
+
+TEST(BaiIndex, UnsortedBamRejected) {
+  TempDir tmp;
+  auto header = sam::SamHeader::from_references({{"chr1", 100000}});
+  std::string path = tmp.file("unsorted.bam");
+  {
+    bam::BamFileWriter w(path, header);
+    AlignmentRecord rec;
+    rec.qname = "a";
+    rec.ref_id = 0;
+    rec.pos = 5000;
+    rec.cigar = {{'M', 90}};
+    w.write(rec);
+    rec.qname = "b";
+    rec.pos = 100;  // goes backwards
+    w.write(rec);
+    w.close();
+  }
+  EXPECT_THROW(BaiIndex::build(path), FormatError);
+}
+
+TEST(BaiIndex, MergedChunksAreOrdered) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  auto chunks = index.query(0, 0, 1 << 28);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_GT(chunks[i].vbeg, chunks[i - 1].vend);
+  }
+  for (const auto& c : chunks) {
+    EXPECT_LT(c.vbeg, c.vend);
+  }
+}
+
+TEST(BamRegionReader, MatchesBruteForceScan) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  for (auto [beg, end] : std::vector<std::pair<int32_t, int32_t>>{
+           {0, 5000}, {10000, 30000}, {0, 1}, {50000, 70000}}) {
+    BamRegionReader reader(f.bam_path, index, 0, beg, end);
+    std::multiset<std::string> got;
+    AlignmentRecord rec;
+    while (reader.next(rec)) {
+      EXPECT_EQ(rec.ref_id, 0);
+      EXPECT_LT(rec.pos, end);
+      EXPECT_GT(rec.end_pos(), beg);
+      got.insert(rec.qname);
+    }
+    EXPECT_EQ(got, scan_overlaps(f, 0, beg, end))
+        << "region [" << beg << "," << end << ")";
+  }
+}
+
+TEST(BamRegionReader, EmptyRegion) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  BamRegionReader reader(f.bam_path, index, 0, 100, 100);
+  AlignmentRecord rec;
+  EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(BamRegionReader, SecondChromosome) {
+  Fixture f;
+  BaiIndex index = BaiIndex::build(f.bam_path);
+  int32_t len = static_cast<int32_t>(f.header.references()[1].length);
+  BamRegionReader reader(f.bam_path, index, 1, 0, len);
+  std::multiset<std::string> got;
+  AlignmentRecord rec;
+  while (reader.next(rec)) {
+    got.insert(rec.qname);
+  }
+  EXPECT_EQ(got, scan_overlaps(f, 1, 0, len));
+}
+
+}  // namespace
+}  // namespace ngsx::bai

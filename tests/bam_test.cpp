@@ -1,0 +1,304 @@
+// Tests for the BAM binary codec, the UCSC binning functions, and the
+// streaming reader/writer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "formats/bam.h"
+#include "simdata/readsim.h"
+#include "util/tempdir.h"
+
+namespace ngsx::bam {
+namespace {
+
+using sam::AlignmentRecord;
+using sam::AuxField;
+using sam::SamHeader;
+
+SamHeader test_header() {
+  return SamHeader::from_references({{"chr1", 1 << 26}, {"chr2", 100000}});
+}
+
+AlignmentRecord rich_record() {
+  AlignmentRecord rec;
+  rec.qname = "pair.1";
+  rec.flag = sam::kPaired | sam::kRead1 | sam::kReverse;
+  rec.ref_id = 0;
+  rec.pos = 12345;
+  rec.mapq = 37;
+  rec.cigar = sam::parse_cigar("5S40M2I43M");
+  rec.mate_ref_id = 1;
+  rec.mate_pos = 555;
+  rec.tlen = -300;
+  rec.seq = "ACGTN";
+  rec.seq += std::string(85, 'G');
+  rec.qual = std::string(90, 'F');
+  rec.tags.push_back(sam::parse_aux("NM:i:3"));
+  rec.tags.push_back(sam::parse_aux("MD:Z:40T42"));
+  rec.tags.push_back(sam::parse_aux("XT:A:U"));
+  rec.tags.push_back(sam::parse_aux("XF:f:0.25"));
+  rec.tags.push_back(sam::parse_aux("ZB:B:S,9,8,7"));
+  rec.tags.push_back(sam::parse_aux("ZF:B:f,1.5,2.5"));
+  return rec;
+}
+
+// ----------------------------------------------------------------- binning
+
+TEST(Reg2Bin, SpecLevels) {
+  // Whole-genome interval -> root bin.
+  EXPECT_EQ(reg2bin(0, 1 << 29), 0);
+  // Small interval deep in the tree -> leaf level (bins 4681+).
+  EXPECT_GE(reg2bin(0, 1), 4681);
+  EXPECT_EQ(reg2bin(0, 1 << 14), 4681);
+  EXPECT_EQ(reg2bin(1 << 14, (1 << 14) + 1), 4682);
+  // Interval spanning two leaf windows -> parent level.
+  int parent = reg2bin((1 << 14) - 1, (1 << 14) + 1);
+  EXPECT_GE(parent, 585);
+  EXPECT_LT(parent, 4681);
+}
+
+TEST(Reg2Bins, ContainsRecordBin) {
+  std::vector<uint16_t> bins;
+  for (auto [beg, end] : std::vector<std::pair<int32_t, int32_t>>{
+           {0, 100}, {12345, 12435}, {(1 << 20) - 5, (1 << 20) + 5},
+           {1 << 26, (1 << 26) + 90}}) {
+    int bin = reg2bin(beg, end);
+    reg2bins(beg, end, bins);
+    EXPECT_NE(std::find(bins.begin(), bins.end(), bin), bins.end())
+        << "bin " << bin << " for [" << beg << "," << end << ")";
+    EXPECT_EQ(bins[0], 0);  // root always a candidate
+  }
+}
+
+TEST(Reg2Bins, DisjointRegionsShareOnlyAncestors) {
+  std::vector<uint16_t> a;
+  std::vector<uint16_t> b;
+  reg2bins(0, 100, a);
+  reg2bins(1 << 27, (1 << 27) + 100, b);
+  // Leaf bins must differ.
+  EXPECT_NE(a.back(), b.back());
+}
+
+// ------------------------------------------------------------ record codec
+
+TEST(BamRecord, EncodeDecodeRoundTrip) {
+  AlignmentRecord rec = rich_record();
+  std::string buf;
+  encode_record(rec, buf);
+  // Strip the leading block_size field.
+  int32_t block_size = binio::get_le<int32_t>(buf, 0);
+  EXPECT_EQ(static_cast<size_t>(block_size) + 4, buf.size());
+  AlignmentRecord back;
+  decode_record(std::string_view(buf).substr(4), back);
+  EXPECT_EQ(back, rec);
+}
+
+TEST(BamRecord, UnmappedRoundTrip) {
+  AlignmentRecord rec;
+  rec.qname = "u";
+  rec.flag = sam::kUnmapped;
+  rec.seq = "ACGT";
+  rec.qual = "IIII";
+  std::string buf;
+  encode_record(rec, buf);
+  AlignmentRecord back;
+  decode_record(std::string_view(buf).substr(4), back);
+  EXPECT_EQ(back, rec);
+}
+
+TEST(BamRecord, MissingQualEncodedAsFf) {
+  AlignmentRecord rec;
+  rec.qname = "q";
+  rec.seq = "ACG";
+  std::string buf;
+  encode_record(rec, buf);
+  AlignmentRecord back;
+  decode_record(std::string_view(buf).substr(4), back);
+  EXPECT_EQ(back.seq, "ACG");
+  EXPECT_TRUE(back.qual.empty());
+}
+
+TEST(BamRecord, OddLengthSequence) {
+  AlignmentRecord rec;
+  rec.qname = "odd";
+  rec.seq = "ACGTA";
+  rec.qual = "IIIII";
+  std::string buf;
+  encode_record(rec, buf);
+  AlignmentRecord back;
+  decode_record(std::string_view(buf).substr(4), back);
+  EXPECT_EQ(back.seq, "ACGTA");
+}
+
+TEST(BamRecord, AmbiguityCodesSurvive) {
+  AlignmentRecord rec;
+  rec.qname = "iupac";
+  rec.seq = "=ACMGRSVTWYHKDBN";
+  rec.qual = std::string(16, '#');
+  std::string buf;
+  encode_record(rec, buf);
+  AlignmentRecord back;
+  decode_record(std::string_view(buf).substr(4), back);
+  EXPECT_EQ(back.seq, "=ACMGRSVTWYHKDBN");
+}
+
+TEST(BamRecord, LongReadNameRejected) {
+  AlignmentRecord rec;
+  rec.qname = std::string(300, 'n');
+  std::string buf;
+  EXPECT_THROW(encode_record(rec, buf), FormatError);
+}
+
+TEST(BamRecord, AllIntegerAuxWidthsDecodeToI) {
+  // Hand-encode aux fields of every width and check they normalize to 'i'.
+  AlignmentRecord base;
+  base.qname = "x";
+  std::string buf;
+  encode_record(base, buf);
+  std::string body = buf.substr(4);
+  auto with_aux = [&](std::initializer_list<uint8_t> bytes) {
+    std::string b = body;
+    for (uint8_t v : bytes) {
+      b += static_cast<char>(v);
+    }
+    AlignmentRecord out;
+    decode_record(b, out);
+    return out;
+  };
+  AlignmentRecord r1 = with_aux({'X', 'A', 'c', 0xFF});  // int8 -1
+  ASSERT_EQ(r1.tags.size(), 1u);
+  EXPECT_EQ(r1.tags[0].type, 'i');
+  EXPECT_EQ(r1.tags[0].int_value, -1);
+  AlignmentRecord r2 = with_aux({'X', 'B', 'C', 0xFF});  // uint8 255
+  EXPECT_EQ(r2.tags[0].int_value, 255);
+  AlignmentRecord r3 = with_aux({'X', 'C', 's', 0x00, 0x80});  // int16 min
+  EXPECT_EQ(r3.tags[0].int_value, -32768);
+  AlignmentRecord r4 = with_aux({'X', 'D', 'S', 0xFF, 0xFF});  // uint16 max
+  EXPECT_EQ(r4.tags[0].int_value, 65535);
+  AlignmentRecord r5 =
+      with_aux({'X', 'E', 'I', 0xFF, 0xFF, 0xFF, 0xFF});  // uint32 max
+  EXPECT_EQ(r5.tags[0].int_value, 4294967295LL);
+}
+
+TEST(BamRecord, TruncatedBodyRejected) {
+  AlignmentRecord rec = rich_record();
+  std::string buf;
+  encode_record(rec, buf);
+  AlignmentRecord back;
+  EXPECT_THROW(
+      decode_record(std::string_view(buf).substr(4, buf.size() - 10), back),
+      FormatError);
+}
+
+// -------------------------------------------------------------- file layer
+
+TEST(BamFile, HeaderRoundTrip) {
+  TempDir tmp;
+  SamHeader h = test_header();
+  std::string path = tmp.file("t.bam");
+  {
+    BamFileWriter w(path, h);
+    w.close();
+  }
+  BamFileReader r(path);
+  EXPECT_EQ(r.header().text(), h.text());
+  ASSERT_EQ(r.header().references().size(), 2u);
+  EXPECT_EQ(r.header().references()[0].name, "chr1");
+  AlignmentRecord rec;
+  EXPECT_FALSE(r.next(rec));
+}
+
+TEST(BamFile, RecordsRoundTripInOrder) {
+  TempDir tmp;
+  SamHeader h = test_header();
+  std::string path = tmp.file("t.bam");
+  std::vector<AlignmentRecord> records;
+  for (int i = 0; i < 500; ++i) {
+    AlignmentRecord rec = rich_record();
+    rec.qname = "r" + std::to_string(i);
+    rec.pos = i * 100;
+    records.push_back(rec);
+  }
+  {
+    BamFileWriter w(path, h);
+    for (const auto& rec : records) {
+      w.write(rec);
+    }
+    w.close();
+  }
+  BamFileReader r(path);
+  AlignmentRecord rec;
+  size_t i = 0;
+  while (r.next(rec)) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(rec, records[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+}
+
+TEST(BamFile, TellSeekToRecord) {
+  TempDir tmp;
+  SamHeader h = test_header();
+  std::string path = tmp.file("t.bam");
+  std::vector<uint64_t> voffsets;
+  {
+    BamFileWriter w(path, h);
+    for (int i = 0; i < 100; ++i) {
+      AlignmentRecord rec = rich_record();
+      rec.qname = "r" + std::to_string(i);
+      voffsets.push_back(w.write(rec));
+    }
+    w.close();
+  }
+  BamFileReader r(path);
+  AlignmentRecord rec;
+  r.seek(voffsets[42]);
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.qname, "r42");
+  r.seek(voffsets[7]);
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.qname, "r7");
+}
+
+TEST(BamFile, BadMagicRejected) {
+  TempDir tmp;
+  std::string path = tmp.file("bad.bam");
+  {
+    bgzf::Writer w(path);
+    w.write("NOPE");
+    w.close();
+  }
+  EXPECT_THROW(BamFileReader reader(path), FormatError);
+}
+
+TEST(BamFile, SimulatedDatasetRoundTrip) {
+  // Property-style: every simulated record survives BAM round-tripping.
+  TempDir tmp;
+  auto genome = simdata::ReferenceGenome::simulate(
+      simdata::mouse_like_references(200000), 5);
+  simdata::ReadSimConfig cfg;
+  cfg.seed = 5;
+  auto records = simdata::simulate_alignments(genome, 300, cfg);
+  std::string path = tmp.file("sim.bam");
+  {
+    BamFileWriter w(path, genome.header());
+    for (const auto& rec : records) {
+      w.write(rec);
+    }
+    w.close();
+  }
+  BamFileReader r(path);
+  AlignmentRecord rec;
+  size_t i = 0;
+  while (r.next(rec)) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(rec, records[i]) << "at record " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+}
+
+}  // namespace
+}  // namespace ngsx::bam

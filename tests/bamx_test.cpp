@@ -1,0 +1,328 @@
+// Tests for the paper's BAMX / BAIX formats: fixed-stride layout, random
+// access, and the region index used by partial conversion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "formats/bamx.h"
+#include "simdata/readsim.h"
+#include "util/tempdir.h"
+
+namespace ngsx::bamx {
+namespace {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+SamHeader test_header() {
+  return SamHeader::from_references({{"chr1", 1000000}, {"chr2", 500000}});
+}
+
+AlignmentRecord sample_record(int i) {
+  AlignmentRecord rec;
+  rec.qname = "read-" + std::to_string(i);
+  rec.flag = sam::kPaired | (i % 2 == 0 ? sam::kRead1 : sam::kRead2);
+  rec.ref_id = i % 2;
+  rec.pos = 100 * i;
+  rec.mapq = static_cast<uint8_t>(i % 61);
+  rec.cigar = sam::parse_cigar(i % 3 == 0 ? "90M" : "5S40M2D45M");
+  rec.mate_ref_id = rec.ref_id;
+  rec.mate_pos = 100 * i + 200;
+  rec.tlen = 290;
+  rec.seq = std::string(static_cast<size_t>(50 + i % 40), "ACGT"[i % 4]);
+  rec.qual = std::string(rec.seq.size(), 'E');
+  if (i % 4 == 0) {
+    rec.tags.push_back(sam::parse_aux("NM:i:" + std::to_string(i % 9)));
+  }
+  if (i % 7 == 0) {
+    rec.tags.push_back(sam::parse_aux("ZB:B:S,1,2,3,4"));
+  }
+  return rec;
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(BamxLayout, AccommodateTracksMaxima) {
+  BamxLayout layout;
+  AlignmentRecord small = sample_record(1);
+  AlignmentRecord big = sample_record(39);  // longer seq
+  layout.accommodate(small);
+  layout.accommodate(big);
+  EXPECT_TRUE(layout.fits(small));
+  EXPECT_TRUE(layout.fits(big));
+  EXPECT_GE(layout.max_seq, std::max(small.seq.size(), big.seq.size()));
+}
+
+TEST(BamxLayout, StrideIsAligned) {
+  BamxLayout layout;
+  layout.accommodate(sample_record(3));
+  EXPECT_EQ(layout.stride() % 8, 0u);
+  EXPECT_GE(layout.stride(), layout.aux_offset());
+}
+
+TEST(BamxLayout, MergeTakesMaxima) {
+  BamxLayout a;
+  a.max_qname = 10;
+  a.max_seq = 100;
+  BamxLayout b;
+  b.max_qname = 20;
+  b.max_cigar = 7;
+  a.merge(b);
+  EXPECT_EQ(a.max_qname, 20u);
+  EXPECT_EQ(a.max_seq, 100u);
+  EXPECT_EQ(a.max_cigar, 7u);
+}
+
+TEST(BamxLayout, FitsRejectsOversize) {
+  BamxLayout layout;
+  layout.accommodate(sample_record(1));
+  AlignmentRecord huge = sample_record(1);
+  huge.qname = std::string(200, 'q');
+  EXPECT_FALSE(layout.fits(huge));
+}
+
+// ------------------------------------------------------------ record codec
+
+TEST(BamxRecord, EncodeDecodeRoundTrip) {
+  for (int i = 0; i < 50; ++i) {
+    AlignmentRecord rec = sample_record(i);
+    BamxLayout layout;
+    layout.accommodate(rec);
+    // Pad the layout beyond the record to exercise real padding.
+    layout.max_qname += 13;
+    layout.max_cigar += 3;
+    layout.max_seq += 21;
+    layout.max_aux += 17;
+    std::string buf;
+    encode_record(rec, layout, buf);
+    EXPECT_EQ(buf.size(), layout.stride());
+    AlignmentRecord back;
+    decode_record(buf, layout, back);
+    EXPECT_EQ(back, rec) << "record " << i;
+  }
+}
+
+TEST(BamxRecord, EncodeRejectsOverflow) {
+  BamxLayout tiny;
+  tiny.max_qname = 2;
+  AlignmentRecord rec = sample_record(1);
+  std::string buf;
+  EXPECT_THROW(encode_record(rec, tiny, buf), UsageError);
+}
+
+TEST(BamxRecord, PeekRefPos) {
+  AlignmentRecord rec = sample_record(5);
+  BamxLayout layout;
+  layout.accommodate(rec);
+  std::string buf;
+  encode_record(rec, layout, buf);
+  auto [ref, pos] = peek_ref_pos(buf);
+  EXPECT_EQ(ref, rec.ref_id);
+  EXPECT_EQ(pos, rec.pos);
+}
+
+TEST(BamxRecord, UnmappedRoundTrip) {
+  AlignmentRecord rec;
+  rec.qname = "u";
+  rec.flag = sam::kUnmapped;
+  rec.seq = "ACGT";
+  BamxLayout layout;
+  layout.accommodate(rec);
+  std::string buf;
+  encode_record(rec, layout, buf);
+  AlignmentRecord back;
+  decode_record(buf, layout, back);
+  EXPECT_EQ(back, rec);
+}
+
+// -------------------------------------------------------------- file layer
+
+struct FileFixture {
+  TempDir tmp;
+  std::string path;
+  std::vector<AlignmentRecord> records;
+  BamxLayout layout;
+
+  explicit FileFixture(int n = 200) {
+    for (int i = 0; i < n; ++i) {
+      records.push_back(sample_record(i));
+      layout.accommodate(records.back());
+    }
+    path = tmp.file("t.bamx");
+    BamxWriter w(path, test_header(), layout);
+    for (const auto& rec : records) {
+      w.write(rec);
+    }
+    w.close();
+  }
+};
+
+TEST(BamxFile, HeaderAndCountPersisted) {
+  FileFixture f;
+  BamxReader r(f.path);
+  EXPECT_EQ(r.num_records(), f.records.size());
+  EXPECT_EQ(r.layout(), f.layout);
+  EXPECT_EQ(r.header().references().size(), 2u);
+}
+
+TEST(BamxFile, RandomAccessAnyOrder) {
+  FileFixture f;
+  BamxReader r(f.path);
+  AlignmentRecord rec;
+  for (uint64_t i : {199u, 0u, 57u, 123u, 1u, 198u}) {
+    r.read(i, rec);
+    EXPECT_EQ(rec, f.records[i]) << "record " << i;
+  }
+}
+
+TEST(BamxFile, ReadRefPosMatches) {
+  FileFixture f;
+  BamxReader r(f.path);
+  for (uint64_t i = 0; i < f.records.size(); i += 17) {
+    auto [ref, pos] = r.read_ref_pos(i);
+    EXPECT_EQ(ref, f.records[i].ref_id);
+    EXPECT_EQ(pos, f.records[i].pos);
+  }
+}
+
+TEST(BamxFile, ReadRangeBulk) {
+  FileFixture f;
+  BamxReader r(f.path);
+  std::vector<AlignmentRecord> batch;
+  r.read_range(50, 100, batch);
+  ASSERT_EQ(batch.size(), 50u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], f.records[50 + i]);
+  }
+  // Appending semantics.
+  r.read_range(0, 10, batch);
+  EXPECT_EQ(batch.size(), 60u);
+  EXPECT_EQ(batch[50], f.records[0]);
+  // Empty range is a no-op.
+  r.read_range(5, 5, batch);
+  EXPECT_EQ(batch.size(), 60u);
+}
+
+TEST(BamxFile, OutOfRangeChecked) {
+  FileFixture f;
+  BamxReader r(f.path);
+  AlignmentRecord rec;
+  EXPECT_THROW(r.read(f.records.size(), rec), Error);
+  std::vector<AlignmentRecord> batch;
+  EXPECT_THROW(r.read_range(0, f.records.size() + 1, batch), Error);
+}
+
+TEST(BamxFile, BadMagicRejected) {
+  TempDir tmp;
+  std::string path = tmp.file("bad.bamx");
+  write_file(path, "garbage garbage garbage garbage garbage!");
+  EXPECT_THROW(BamxReader r(path), FormatError);
+}
+
+TEST(BamxFile, TruncationDetected) {
+  FileFixture f;
+  std::string data = read_file(f.path);
+  std::string cut = f.tmp.file("cut.bamx");
+  write_file(cut, data.substr(0, data.size() - f.layout.stride()));
+  EXPECT_THROW(BamxReader r(cut), FormatError);
+}
+
+TEST(BamxFile, EmptyFileRoundTrip) {
+  TempDir tmp;
+  std::string path = tmp.file("empty.bamx");
+  BamxLayout layout;
+  {
+    BamxWriter w(path, test_header(), layout);
+    w.close();
+  }
+  BamxReader r(path);
+  EXPECT_EQ(r.num_records(), 0u);
+}
+
+// -------------------------------------------------------------------- BAIX
+
+TEST(Baix, BuildSortsByRefThenPos) {
+  FileFixture f;
+  BamxReader r(f.path);
+  BaixIndex index = BaixIndex::build(r);
+  ASSERT_EQ(index.size(), f.records.size());
+  for (size_t i = 1; i < index.size(); ++i) {
+    const auto& a = index.entry(i - 1);
+    const auto& b = index.entry(i);
+    uint32_t ra = static_cast<uint32_t>(a.ref_id);
+    uint32_t rb = static_cast<uint32_t>(b.ref_id);
+    EXPECT_TRUE(ra < rb || (ra == rb && a.pos <= b.pos));
+  }
+}
+
+TEST(Baix, QueryMatchesLinearFilter) {
+  FileFixture f;
+  BamxReader r(f.path);
+  BaixIndex index = BaixIndex::build(r);
+  for (auto [ref, beg, end] : std::vector<std::tuple<int, int, int>>{
+           {0, 0, 5000}, {0, 3000, 9000}, {1, 0, 100000}, {0, 0, 1}}) {
+    auto [lo, hi] = index.query(ref, beg, end);
+    size_t expect = 0;
+    for (const auto& rec : f.records) {
+      if (rec.ref_id == ref && rec.pos >= beg && rec.pos < end) {
+        ++expect;
+      }
+    }
+    EXPECT_EQ(hi - lo, expect) << "region " << ref << ":" << beg << "-"
+                               << end;
+    for (size_t e = lo; e < hi; ++e) {
+      EXPECT_EQ(index.entry(e).ref_id, ref);
+      EXPECT_GE(index.entry(e).pos, beg);
+      EXPECT_LT(index.entry(e).pos, end);
+    }
+  }
+}
+
+TEST(Baix, EntriesPointToCorrectRecords) {
+  FileFixture f;
+  BamxReader r(f.path);
+  BaixIndex index = BaixIndex::build(r);
+  AlignmentRecord rec;
+  auto [lo, hi] = index.query(0, 0, 2000);
+  for (size_t e = lo; e < hi; ++e) {
+    r.read(index.entry(e).record_index, rec);
+    EXPECT_EQ(rec.pos, index.entry(e).pos);
+    EXPECT_EQ(rec.ref_id, index.entry(e).ref_id);
+  }
+}
+
+TEST(Baix, SaveLoadRoundTrip) {
+  FileFixture f;
+  BamxReader r(f.path);
+  BaixIndex index = BaixIndex::build(r);
+  std::string path = f.tmp.file("t.baix");
+  index.save(path);
+  EXPECT_EQ(BaixIndex::load(path), index);
+}
+
+TEST(Baix, LoadBadMagicThrows) {
+  TempDir tmp;
+  std::string path = tmp.file("bad.baix");
+  write_file(path, "XXXXXXXXXXXXXXXXX");
+  EXPECT_THROW(BaixIndex::load(path), FormatError);
+}
+
+TEST(Baix, UnmappedSortLast) {
+  std::vector<BaixEntry> entries = {
+      {-1, -1, 0}, {0, 50, 1}, {1, 10, 2}, {0, 10, 3}};
+  BaixIndex index = BaixIndex::from_entries(entries);
+  EXPECT_EQ(index.entry(0).record_index, 3u);  // chr0:10
+  EXPECT_EQ(index.entry(1).record_index, 1u);  // chr0:50
+  EXPECT_EQ(index.entry(2).record_index, 2u);  // chr1:10
+  EXPECT_EQ(index.entry(3).record_index, 0u);  // unmapped last
+}
+
+TEST(Baix, EmptyQuery) {
+  BaixIndex index;
+  auto [lo, hi] = index.query(0, 0, 100);
+  EXPECT_EQ(lo, hi);
+}
+
+}  // namespace
+}  // namespace ngsx::bamx

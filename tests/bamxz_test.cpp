@@ -1,0 +1,171 @@
+// Tests for BAMXZ (block-compressed BAMX — the paper's compression
+// future-work item): framing, random access, compression effectiveness,
+// and corruption detection.
+
+#include <gtest/gtest.h>
+
+#include "formats/bamxz.h"
+#include "simdata/readsim.h"
+#include "util/tempdir.h"
+
+namespace ngsx::bamxz {
+namespace {
+
+using sam::AlignmentRecord;
+
+struct Fixture {
+  TempDir tmp;
+  std::vector<AlignmentRecord> records;
+  bamx::BamxLayout layout;
+  std::string path;
+  sam::SamHeader header;
+
+  explicit Fixture(uint64_t pairs = 500, uint32_t records_per_block = 128) {
+    auto genome = simdata::ReferenceGenome::simulate(
+        simdata::mouse_like_references(400000), 31);
+    header = genome.header();
+    simdata::ReadSimConfig cfg;
+    cfg.seed = 31;
+    records = simdata::simulate_alignments(genome, pairs, cfg);
+    for (const auto& r : records) {
+      layout.accommodate(r);
+    }
+    path = tmp.file("t.bamxz");
+    BamxzWriter w(path, header, layout, records_per_block);
+    for (const auto& r : records) {
+      w.write(r);
+    }
+    w.close();
+  }
+};
+
+TEST(Bamxz, HeaderGeometryPersisted) {
+  Fixture f;
+  BamxzReader r(f.path);
+  EXPECT_EQ(r.num_records(), f.records.size());
+  EXPECT_EQ(r.layout(), f.layout);
+  EXPECT_EQ(r.records_per_block(), 128u);
+  EXPECT_EQ(r.num_blocks(), (f.records.size() + 127) / 128);
+  EXPECT_EQ(r.header().references().size(),
+            f.header.references().size());
+}
+
+TEST(Bamxz, SequentialScanMatches) {
+  Fixture f;
+  BamxzReader r(f.path);
+  std::vector<AlignmentRecord> batch;
+  r.read_range(0, r.num_records(), batch);
+  EXPECT_EQ(batch, f.records);
+}
+
+TEST(Bamxz, RandomAccessAcrossBlocks) {
+  Fixture f;
+  BamxzReader r(f.path);
+  AlignmentRecord rec;
+  for (uint64_t i : {0ull, 127ull, 128ull, 500ull, 999ull, 64ull, 900ull}) {
+    r.read(i, rec);
+    EXPECT_EQ(rec, f.records[i]) << "record " << i;
+  }
+}
+
+TEST(Bamxz, CompressesPadding) {
+  Fixture f;
+  uint64_t raw_bamx = f.records.size() * f.layout.stride();
+  BamxzReader r(f.path);
+  // Padded fixed-stride records deflate well below the raw BAMX size.
+  EXPECT_LT(r.compressed_size(), raw_bamx / 2);
+}
+
+TEST(Bamxz, PartialFinalBlock) {
+  Fixture f(/*pairs=*/70, /*records_per_block=*/64);  // 140 records: 3 blocks
+  BamxzReader r(f.path);
+  EXPECT_EQ(r.num_blocks(), 3u);
+  AlignmentRecord rec;
+  r.read(139, rec);
+  EXPECT_EQ(rec, f.records[139]);
+}
+
+TEST(Bamxz, SingleRecordBlocks) {
+  Fixture f(/*pairs=*/10, /*records_per_block=*/1);
+  BamxzReader r(f.path);
+  EXPECT_EQ(r.num_blocks(), 20u);
+  std::vector<AlignmentRecord> batch;
+  r.read_range(5, 15, batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], f.records[5 + i]);
+  }
+}
+
+TEST(Bamxz, EmptyFile) {
+  TempDir tmp;
+  auto header = sam::SamHeader::from_references({{"c", 100}});
+  bamx::BamxLayout layout;
+  {
+    BamxzWriter w(tmp.file("e.bamxz"), header, layout);
+    w.close();
+  }
+  BamxzReader r(tmp.file("e.bamxz"));
+  EXPECT_EQ(r.num_records(), 0u);
+  EXPECT_EQ(r.num_blocks(), 0u);
+}
+
+TEST(Bamxz, OutOfRangeChecked) {
+  Fixture f(/*pairs=*/5);
+  BamxzReader r(f.path);
+  AlignmentRecord rec;
+  EXPECT_THROW(r.read(10, rec), Error);
+  std::vector<AlignmentRecord> batch;
+  EXPECT_THROW(r.read_range(0, 11, batch), Error);
+}
+
+TEST(Bamxz, BadMagicRejected) {
+  TempDir tmp;
+  write_file(tmp.file("bad.bamxz"), "garbage file with no structure here");
+  EXPECT_THROW(BamxzReader r(tmp.file("bad.bamxz")), FormatError);
+}
+
+TEST(Bamxz, TruncatedFooterRejected) {
+  Fixture f(/*pairs=*/20);
+  std::string data = read_file(f.path);
+  std::string cut = f.tmp.file("cut.bamxz");
+  write_file(cut, data.substr(0, data.size() - 6));
+  EXPECT_THROW(BamxzReader r(cut), FormatError);
+}
+
+TEST(Bamxz, CorruptBlockDetected) {
+  Fixture f(/*pairs=*/50, /*records_per_block=*/32);
+  std::string data = read_file(f.path);
+  // Flip a byte in the middle of the compressed area (after the header
+  // blob, well before the footer).
+  size_t victim = data.size() / 2;
+  data[victim] = static_cast<char>(data[victim] ^ 0x7F);
+  std::string bad = f.tmp.file("bad.bamxz");
+  write_file(bad, data);
+  BamxzReader r(bad);
+  AlignmentRecord rec;
+  bool failed = false;
+  try {
+    for (uint64_t i = 0; i < r.num_records(); ++i) {
+      r.read(i, rec);
+    }
+  } catch (const Error&) {
+    failed = true;
+  }
+  EXPECT_TRUE(failed);
+}
+
+TEST(Bamxz, WriteAfterCloseRejected) {
+  TempDir tmp;
+  auto header = sam::SamHeader::from_references({{"c", 100}});
+  bamx::BamxLayout layout;
+  AlignmentRecord rec;
+  rec.qname = "x";
+  layout.accommodate(rec);
+  BamxzWriter w(tmp.file("t.bamxz"), header, layout);
+  w.write(rec);
+  w.close();
+  EXPECT_THROW(w.write(rec), Error);
+}
+
+}  // namespace
+}  // namespace ngsx::bamxz

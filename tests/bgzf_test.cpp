@@ -1,0 +1,260 @@
+// Tests for the BGZF block-compression codec: wire format, virtual
+// offsets, streaming reader/writer, corruption detection.
+
+#include <gtest/gtest.h>
+
+#include "formats/bgzf.h"
+#include "util/rng.h"
+#include "util/tempdir.h"
+
+namespace ngsx::bgzf {
+namespace {
+
+std::string random_payload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s) {
+    c = static_cast<char>(rng.below(256));
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ block codec
+
+TEST(BgzfBlock, CompressDecompressRoundTrip) {
+  for (size_t n : {0u, 1u, 100u, 65000u}) {
+    std::string input = random_payload(n, n + 1);
+    std::string block;
+    compress_block(input, block);
+    EXPECT_EQ(peek_block_size(block.substr(0, 18)), block.size());
+    std::string out;
+    EXPECT_EQ(decompress_block(block, out), n);
+    EXPECT_EQ(out, input);
+  }
+}
+
+TEST(BgzfBlock, CompressibleDataShrinks) {
+  std::string input(60000, 'A');
+  std::string block;
+  compress_block(input, block);
+  EXPECT_LT(block.size(), 1000u);
+}
+
+TEST(BgzfBlock, InputTooLargeRejected) {
+  std::string big(kMaxBlockInput + 1, 'x');
+  std::string out;
+  EXPECT_THROW(compress_block(big, out), Error);
+}
+
+TEST(BgzfBlock, EofMarkerIsValidEmptyBlock) {
+  std::string_view eof = eof_marker();
+  EXPECT_EQ(eof.size(), 28u);
+  EXPECT_EQ(peek_block_size(eof), 28u);
+  std::string out;
+  EXPECT_EQ(decompress_block(eof, out), 0u);
+}
+
+TEST(BgzfBlock, BadMagicRejected) {
+  std::string block;
+  compress_block("data", block);
+  block[0] = 'x';
+  EXPECT_THROW(peek_block_size(block), FormatError);
+}
+
+TEST(BgzfBlock, CrcMismatchDetected) {
+  std::string block;
+  compress_block("hello world hello world", block);
+  // Corrupt one byte of the stored CRC (last 8 bytes are CRC+ISIZE).
+  block[block.size() - 6] ^= 0x5A;
+  std::string out;
+  EXPECT_THROW(decompress_block(block, out), FormatError);
+}
+
+TEST(BgzfBlock, TruncatedBlockDetected) {
+  std::string block;
+  compress_block("payload payload payload", block);
+  std::string out;
+  EXPECT_THROW(decompress_block(block.substr(0, block.size() - 1), out),
+               FormatError);
+}
+
+TEST(BgzfBlock, VirtualOffsetPacking) {
+  uint64_t v = make_voffset(0x123456789ABull, 0xCDEF);
+  EXPECT_EQ(voffset_coffset(v), 0x123456789ABull);
+  EXPECT_EQ(voffset_uoffset(v), 0xCDEFu);
+  EXPECT_EQ(make_voffset(0, 0), 0u);
+}
+
+// ------------------------------------------------------------- writer/reader
+
+TEST(BgzfFile, RoundTripSmall) {
+  TempDir tmp;
+  std::string path = tmp.file("t.bgzf");
+  {
+    Writer w(path);
+    w.write("hello ");
+    w.write("world");
+    w.close();
+  }
+  Reader r(path);
+  char buf[64];
+  size_t got = r.read(buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf, got), "hello world");
+  EXPECT_TRUE(r.eof());
+}
+
+TEST(BgzfFile, EndsWithEofMarker) {
+  TempDir tmp;
+  std::string path = tmp.file("t.bgzf");
+  {
+    Writer w(path);
+    w.write("x");
+    w.close();
+  }
+  std::string raw = read_file(path);
+  ASSERT_GE(raw.size(), 28u);
+  EXPECT_EQ(raw.substr(raw.size() - 28), std::string(eof_marker()));
+}
+
+TEST(BgzfFile, EmptyFileJustEof) {
+  TempDir tmp;
+  std::string path = tmp.file("e.bgzf");
+  {
+    Writer w(path);
+    w.close();
+  }
+  Reader r(path);
+  EXPECT_TRUE(r.eof());
+  char c;
+  EXPECT_EQ(r.read(&c, 1), 0u);
+}
+
+TEST(BgzfFile, MultiBlockRoundTrip) {
+  TempDir tmp;
+  std::string path = tmp.file("m.bgzf");
+  std::string payload = random_payload(300000, 3);  // spans >4 blocks
+  {
+    Writer w(path);
+    w.write(payload);
+    w.close();
+  }
+  Reader r(path);
+  std::string out(payload.size(), '\0');
+  r.read_exact(out.data(), out.size());
+  EXPECT_EQ(out, payload);
+  EXPECT_TRUE(r.eof());
+}
+
+TEST(BgzfFile, ReadExactPastEndThrows) {
+  TempDir tmp;
+  std::string path = tmp.file("t.bgzf");
+  {
+    Writer w(path);
+    w.write("abc");
+    w.close();
+  }
+  Reader r(path);
+  char buf[10];
+  EXPECT_THROW(r.read_exact(buf, 10), FormatError);
+}
+
+TEST(BgzfFile, TellSeekRoundTrip) {
+  TempDir tmp;
+  std::string path = tmp.file("s.bgzf");
+  std::vector<uint64_t> offsets;
+  std::string payload;
+  {
+    Writer w(path);
+    for (int i = 0; i < 2000; ++i) {
+      std::string item = "item-" + std::to_string(i) + ";";
+      offsets.push_back(w.tell());
+      w.write(item);
+      payload += item;
+    }
+    w.close();
+  }
+  Reader r(path);
+  // Seek to a few recorded positions and verify the data there.
+  for (int i : {0, 1, 999, 1999, 500}) {
+    r.seek(offsets[static_cast<size_t>(i)]);
+    std::string expect = "item-" + std::to_string(i) + ";";
+    std::string got(expect.size(), '\0');
+    r.read_exact(got.data(), got.size());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(BgzfFile, FlushBlockForcesBoundary) {
+  TempDir tmp;
+  std::string path = tmp.file("f.bgzf");
+  uint64_t voffset_after;
+  {
+    Writer w(path);
+    w.write("header");
+    w.flush_block();
+    voffset_after = w.tell();
+    EXPECT_EQ(voffset_uoffset(voffset_after), 0u);  // fresh block
+    EXPECT_GT(voffset_coffset(voffset_after), 0u);
+    w.write("body");
+    w.close();
+  }
+  Reader r(path);
+  r.seek(voffset_after);
+  char buf[4];
+  r.read_exact(buf, 4);
+  EXPECT_EQ(std::string(buf, 4), "body");
+}
+
+TEST(BgzfFile, SeekToEofLegal) {
+  TempDir tmp;
+  std::string path = tmp.file("t.bgzf");
+  uint64_t end_voffset;
+  {
+    Writer w(path);
+    w.write("abc");
+    w.flush_block();
+    end_voffset = w.tell();
+    w.close();
+  }
+  Reader r(path);
+  r.seek(end_voffset);
+  char c;
+  EXPECT_EQ(r.read(&c, 1), 0u);
+}
+
+TEST(BgzfFile, WriterTellTracksUoffset) {
+  TempDir tmp;
+  Writer w(tmp.file("t.bgzf"));
+  EXPECT_EQ(w.tell(), make_voffset(0, 0));
+  w.write("abcd");
+  EXPECT_EQ(w.tell(), make_voffset(0, 4));
+  w.close();
+}
+
+TEST(BgzfFile, LargeWriteExactBlockBoundary) {
+  TempDir tmp;
+  std::string path = tmp.file("b.bgzf");
+  std::string payload = random_payload(kMaxBlockInput * 2, 9);
+  {
+    Writer w(path);
+    w.write(payload);
+    EXPECT_EQ(voffset_uoffset(w.tell()), 0u);  // landed on a boundary
+    w.close();
+  }
+  Reader r(path);
+  std::string out(payload.size(), '\0');
+  r.read_exact(out.data(), out.size());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(BgzfFile, GarbageFileRejected) {
+  TempDir tmp;
+  std::string path = tmp.file("g.bgzf");
+  write_file(path, "this is not a bgzf file at all, not even close!");
+  Reader r(path);
+  char c;
+  EXPECT_THROW(r.read(&c, 1), FormatError);
+}
+
+}  // namespace
+}  // namespace ngsx::bgzf

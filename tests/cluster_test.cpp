@@ -1,0 +1,222 @@
+// Tests for the discrete-event cluster simulator and the cost-model
+// workload builders. These pin down the qualitative behaviours the figure
+// reproductions depend on: linear compute scaling, per-node I/O contention
+// under block placement, shared-FS saturation, and the irregular-layout
+// penalty.
+
+#include <gtest/gtest.h>
+
+#include "cluster/clustersim.h"
+#include "cluster/costmodel.h"
+
+namespace ngsx::cluster {
+namespace {
+
+ClusterConfig test_config() {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.cores_per_node = 8;
+  cfg.node_io_bw = 100e6;
+  cfg.shared_fs_bw = 350e6;
+  cfg.irregular_efficiency = 0.8;
+  cfg.rank_startup = 0.0;
+  cfg.collective_hop = 0.0;
+  return cfg;
+}
+
+TEST(ClusterSim, SingleRankSumsPhases) {
+  ClusterSim sim(test_config());
+  RankWork w;
+  w.phases = {Phase::compute(2.0), Phase::read(100e6), Phase::write(50e6)};
+  double t = sim.run({w}).makespan;
+  // 2.0 s compute + 1.0 s read + 0.5 s write at full node bandwidth.
+  EXPECT_NEAR(t, 3.5, 1e-9);
+}
+
+TEST(ClusterSim, StartupAndCollectiveAdded) {
+  ClusterConfig cfg = test_config();
+  cfg.rank_startup = 0.25;
+  cfg.collective_hop = 0.01;
+  ClusterSim sim(cfg);
+  std::vector<RankWork> work(4, RankWork{{Phase::compute(1.0)}});
+  // 4 ranks -> 2 tree hops.
+  EXPECT_NEAR(sim.run(work).makespan, 0.25 + 1.0 + 0.02, 1e-9);
+  EXPECT_NEAR(sim.collective_cost(1), 0.0, 1e-12);
+  EXPECT_NEAR(sim.collective_cost(256), 8 * 0.01, 1e-9);
+}
+
+TEST(ClusterSim, ComputeScalesLinearly) {
+  ClusterSim sim(test_config());
+  auto make = [&](int p) {
+    return std::vector<RankWork>(
+        static_cast<size_t>(p),
+        RankWork{{Phase::compute(32.0 / p)}});
+  };
+  double t1 = sim.run(make(1)).makespan;
+  double t32 = sim.run(make(32)).makespan;
+  EXPECT_NEAR(t1 / t32, 32.0, 1e-6);
+}
+
+TEST(ClusterSim, NodeIoContentionCapsWithinNode) {
+  // 8 ranks on one node (block placement) all reading: aggregate node
+  // bandwidth is fixed, so I/O time does not improve with ranks.
+  ClusterSim sim(test_config());
+  auto make = [&](int p) {
+    return std::vector<RankWork>(
+        static_cast<size_t>(p),
+        RankWork{{Phase::read(800e6 / p)}});
+  };
+  double t1 = sim.run(make(1)).makespan;
+  double t8 = sim.run(make(8)).makespan;  // same node
+  EXPECT_NEAR(t8, t1, t1 * 0.01);  // no speedup within the node
+  // Crossing to more nodes adds disk paths: 32 ranks = 4 nodes, but the
+  // shared FS (350 MB/s) caps the aggregate below 4 x 100 MB/s.
+  double t32 = sim.run(make(32)).makespan;
+  EXPECT_NEAR(t1 / t32, 3.5, 0.1);
+}
+
+TEST(ClusterSim, SharedFsCapsAggregateBandwidth) {
+  ClusterConfig cfg = test_config();
+  cfg.shared_fs_bw = 150e6;  // less than two nodes' worth
+  ClusterSim sim(cfg);
+  std::vector<RankWork> work(
+      32, RankWork{{Phase::read(150e6 / 32.0)}});
+  EXPECT_NEAR(sim.run(work).makespan, 1.0, 0.01);
+}
+
+TEST(ClusterSim, IrregularIoSlower) {
+  ClusterSim sim(test_config());
+  RankWork regular{{Phase::read(100e6, IoPattern::kRegular)}};
+  RankWork irregular{{Phase::read(100e6, IoPattern::kIrregular)}};
+  double tr = sim.run({regular}).makespan;
+  double ti = sim.run({irregular}).makespan;
+  EXPECT_NEAR(ti / tr, 1.0 / 0.8, 1e-6);
+}
+
+TEST(ClusterSim, MixedPhasesOverlapAcrossRanks) {
+  // One rank computing while another reads: no mutual interference.
+  ClusterConfig cfg = test_config();
+  ClusterSim sim(cfg);
+  std::vector<RankWork> work = {
+      RankWork{{Phase::compute(1.0)}},
+      RankWork{{Phase::read(100e6)}},
+  };
+  EXPECT_NEAR(sim.run(work).makespan, 1.0, 1e-9);
+}
+
+TEST(ClusterSim, HeterogeneousFinishTimes) {
+  ClusterSim sim(test_config());
+  std::vector<RankWork> work = {
+      RankWork{{Phase::compute(3.0)}},
+      RankWork{{Phase::compute(1.0)}},
+  };
+  EXPECT_NEAR(sim.run(work).makespan, 3.0, 1e-9);
+}
+
+TEST(ClusterSim, FairShareReleasesBandwidth) {
+  // Two ranks on one node read different volumes; when the small one
+  // finishes, the big one gets full bandwidth back.
+  ClusterSim sim(test_config());
+  std::vector<RankWork> work = {
+      RankWork{{Phase::read(50e6)}},    // 1 s at half bandwidth
+      RankWork{{Phase::read(150e6)}},   // 1 s at half + 1 s at full
+  };
+  EXPECT_NEAR(sim.run(work).makespan, 2.0, 1e-6);
+}
+
+TEST(ClusterSim, ZeroAmountPhasesSkipped) {
+  ClusterSim sim(test_config());
+  RankWork w{{Phase::read(0), Phase::compute(0.5), Phase::write(0)}};
+  EXPECT_NEAR(sim.run({w}).makespan, 0.5, 1e-9);
+  EXPECT_NEAR(sim.run({RankWork{}}).makespan, 0.0, 1e-9);
+}
+
+TEST(ClusterSim, TooManyRanksRejected) {
+  ClusterSim sim(test_config());  // 32 cores
+  std::vector<RankWork> work(33, RankWork{{Phase::compute(1.0)}});
+  EXPECT_THROW(sim.run(work), Error);
+}
+
+TEST(ClusterSim, BlockPlacement) {
+  ClusterSim sim(test_config());
+  EXPECT_EQ(sim.node_of(0), 0);
+  EXPECT_EQ(sim.node_of(7), 0);
+  EXPECT_EQ(sim.node_of(8), 1);
+  EXPECT_EQ(sim.node_of(31), 3);
+}
+
+TEST(ClusterSim, SpeedupSeriesMonotoneForComputeBound) {
+  ClusterSim sim(test_config());
+  auto series = speedup_series(sim, {1, 2, 4, 8, 16, 32}, [&](int p) {
+    return std::vector<RankWork>(
+        static_cast<size_t>(p), RankWork{{Phase::compute(64.0 / p)}});
+  });
+  ASSERT_EQ(series.size(), 6u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].speedup, series[i - 1].speedup);
+  }
+  EXPECT_NEAR(series.back().speedup, 32.0, 0.5);
+}
+
+// ------------------------------------------------------- workload builders
+
+TEST(CostModelBuilders, ConversionWorkSplitsEvenly) {
+  ConversionJob job;
+  job.records = 1000;
+  job.input_bytes = 4000;
+  job.cpu_per_record = 0.001;
+  job.out_bytes_per_record = 2.0;
+  job.read_pattern = IoPattern::kIrregular;
+  auto work = conversion_work(job, 4);
+  ASSERT_EQ(work.size(), 4u);
+  for (const auto& rank_work : work) {
+    ASSERT_EQ(rank_work.phases.size(), 3u);
+    EXPECT_EQ(rank_work.phases[0].kind, Phase::Kind::kRead);
+    EXPECT_DOUBLE_EQ(rank_work.phases[0].amount, 1000.0);
+    EXPECT_EQ(rank_work.phases[0].pattern, IoPattern::kIrregular);
+    EXPECT_DOUBLE_EQ(rank_work.phases[1].amount, 0.25);
+    EXPECT_DOUBLE_EQ(rank_work.phases[2].amount, 500.0);
+  }
+}
+
+TEST(CostModelBuilders, KernelWork) {
+  auto work = kernel_work(10.0, 100.0, 5);
+  ASSERT_EQ(work.size(), 5u);
+  EXPECT_DOUBLE_EQ(work[0].phases[1].amount, 2.0);
+  EXPECT_DOUBLE_EQ(work[0].phases[0].amount, 20.0);
+}
+
+// The full calibration pass is exercised by the benches (it takes seconds);
+// here a miniature calibration validates the plumbing and basic sanity.
+TEST(CostModel, MiniCalibrationSane) {
+  ConversionCosts costs = calibrate_conversion(/*sample_pairs=*/300,
+                                               /*seed=*/2);
+  EXPECT_GT(costs.sam_parse, 0.0);
+  EXPECT_GT(costs.bam_decode, 0.0);
+  EXPECT_GT(costs.bamx_decode, 0.0);
+  EXPECT_GT(costs.bamtools_adapt, costs.bam_decode);  // adaptation overhead
+  EXPECT_GT(costs.sam_bytes_per_record, 100.0);  // ~90bp reads + fields
+  EXPECT_LT(costs.bam_bytes_per_record, costs.sam_bytes_per_record);
+  EXPECT_GT(costs.bamx_bytes_per_record, 0.0);
+  for (auto format : {core::TargetFormat::kBed, core::TargetFormat::kFastq}) {
+    EXPECT_GT(costs.format_cpu.at(format), 0.0);
+    EXPECT_GT(costs.out_bytes_per_record.at(format), 0.0);
+  }
+  // BEDGRAPH rows are the smallest of the text targets (paper's Fig 6).
+  EXPECT_LT(costs.out_bytes_per_record.at(core::TargetFormat::kBedgraph),
+            costs.out_bytes_per_record.at(core::TargetFormat::kBed));
+  EXPECT_LT(costs.out_bytes_per_record.at(core::TargetFormat::kBedgraph),
+            costs.out_bytes_per_record.at(core::TargetFormat::kFasta));
+}
+
+TEST(CostModel, MiniStatsCalibrationSane) {
+  StatsCosts costs = calibrate_stats(/*sample_bins=*/400, /*b=*/10,
+                                     /*seed=*/2);
+  EXPECT_GT(costs.nlmeans_per_point_op, 0.0);
+  EXPECT_GT(costs.fdr_fused_per_bin, 0.0);
+  EXPECT_GT(costs.fdr_two_pass_per_bin, 0.0);
+  EXPECT_EQ(costs.calibrated_b, 10);
+}
+
+}  // namespace
+}  // namespace ngsx::cluster

@@ -1,0 +1,161 @@
+// Tests for FASTA indexing (.fai) and random-access fetching.
+
+#include <gtest/gtest.h>
+
+#include "formats/fai.h"
+#include "util/rng.h"
+#include "simdata/reference.h"
+#include "util/tempdir.h"
+
+namespace ngsx::fai {
+namespace {
+
+/// Writes a FASTA with the given per-sequence bodies at 60 cols.
+std::string write_fasta(const TempDir& tmp,
+                        const std::vector<std::pair<std::string, std::string>>&
+                            sequences,
+                        int width = 60) {
+  std::string path = tmp.file("t.fasta");
+  std::string text;
+  for (const auto& [name, seq] : sequences) {
+    text += ">" + name + "\n";
+    for (size_t i = 0; i < seq.size(); i += static_cast<size_t>(width)) {
+      text += seq.substr(i, static_cast<size_t>(width));
+      text += '\n';
+    }
+  }
+  write_file(path, text);
+  return path;
+}
+
+std::string make_seq(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    s += "ACGT"[rng.below(4)];
+  }
+  return s;
+}
+
+TEST(Fai, BuildGeometry) {
+  TempDir tmp;
+  std::string chr_a = make_seq(150, 1);
+  std::string chr_b = make_seq(60, 2);
+  std::string path = write_fasta(tmp, {{"chrA", chr_a}, {"chrB", chr_b}});
+  FaiIndex index = FaiIndex::build(path);
+  ASSERT_EQ(index.size(), 2u);
+  const FaiEntry* a = index.find("chrA");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->length, 150);
+  EXPECT_EQ(a->line_bases, 60);
+  EXPECT_EQ(a->line_bytes, 61);
+  EXPECT_EQ(a->offset, 6u);  // ">chrA\n"
+  const FaiEntry* b = index.find("chrB");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->length, 60);
+  EXPECT_EQ(index.find("chrC"), nullptr);
+}
+
+TEST(Fai, SaveLoadRoundTrip) {
+  TempDir tmp;
+  std::string path =
+      write_fasta(tmp, {{"c1", make_seq(500, 3)}, {"c2", make_seq(61, 4)}});
+  FaiIndex built = FaiIndex::build(path);
+  built.save(path + ".fai");
+  EXPECT_EQ(FaiIndex::load(path + ".fai"), built);
+}
+
+TEST(Fai, HeaderDescriptionsStripped) {
+  TempDir tmp;
+  std::string path = tmp.file("d.fasta");
+  write_file(path, ">chr1 description text here\nACGTACGT\n");
+  FaiIndex index = FaiIndex::build(path);
+  ASSERT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.entries()[0].name, "chr1");
+  EXPECT_EQ(index.entries()[0].length, 8);
+}
+
+TEST(Fai, NonUniformLinesRejected) {
+  TempDir tmp;
+  std::string path = tmp.file("bad.fasta");
+  write_file(path, ">c\nACGTACGT\nACG\nACGTACGT\n");  // short middle line
+  EXPECT_THROW(FaiIndex::build(path), FormatError);
+}
+
+TEST(Fai, ShortFinalLineAllowed) {
+  TempDir tmp;
+  std::string path = tmp.file("ok.fasta");
+  write_file(path, ">c\nACGTACGT\nACG\n");
+  FaiIndex index = FaiIndex::build(path);
+  EXPECT_EQ(index.entries()[0].length, 11);
+}
+
+TEST(Fai, DuplicateNamesRejected) {
+  TempDir tmp;
+  std::string path = tmp.file("dup.fasta");
+  write_file(path, ">c\nAC\n>c\nGT\n");
+  EXPECT_THROW(FaiIndex::build(path), FormatError);
+}
+
+TEST(Fai, DataBeforeHeaderRejected) {
+  TempDir tmp;
+  std::string path = tmp.file("nohdr.fasta");
+  write_file(path, "ACGT\n>c\nAC\n");
+  EXPECT_THROW(FaiIndex::build(path), FormatError);
+}
+
+TEST(IndexedFasta, FetchMatchesSource) {
+  TempDir tmp;
+  std::string chr_a = make_seq(1000, 5);
+  std::string chr_b = make_seq(123, 6);
+  std::string path = write_fasta(tmp, {{"chrA", chr_a}, {"chrB", chr_b}});
+  IndexedFasta fasta(path);
+  // Slices crossing line boundaries, at edges, whole sequences.
+  EXPECT_EQ(fasta.fetch("chrA", 0, 10), chr_a.substr(0, 10));
+  EXPECT_EQ(fasta.fetch("chrA", 55, 70), chr_a.substr(55, 15));
+  EXPECT_EQ(fasta.fetch("chrA", 990, 1000), chr_a.substr(990, 10));
+  EXPECT_EQ(fasta.fetch("chrA", 59, 61), chr_a.substr(59, 2));
+  EXPECT_EQ(fasta.fetch_all("chrB"), chr_b);
+  // Clamping.
+  EXPECT_EQ(fasta.fetch("chrB", 100, 5000), chr_b.substr(100));
+  EXPECT_EQ(fasta.fetch("chrB", 50, 50), "");
+  EXPECT_THROW(fasta.fetch("nope", 0, 5), UsageError);
+}
+
+TEST(IndexedFasta, LoadsExistingFaiFile) {
+  TempDir tmp;
+  std::string chr = make_seq(200, 7);
+  std::string path = write_fasta(tmp, {{"c", chr}});
+  FaiIndex::build(path).save(path + ".fai");
+  IndexedFasta fasta(path);
+  EXPECT_EQ(fasta.fetch("c", 10, 20), chr.substr(10, 10));
+}
+
+TEST(IndexedFasta, WorksWithSimulatorOutput) {
+  TempDir tmp;
+  auto genome = simdata::ReferenceGenome::simulate(
+      simdata::mouse_like_references(150000), 9);
+  std::string path = tmp.file("g.fasta");
+  genome.write_fasta(path);
+  IndexedFasta fasta(path);
+  EXPECT_EQ(fasta.index().size(), genome.references().size());
+  // Random windows agree with the in-memory genome.
+  const std::string& chr1 = genome.sequence(0);
+  EXPECT_EQ(fasta.fetch("chr1", 100, 400),
+            chr1.substr(100, 300));
+  EXPECT_EQ(fasta.fetch("chrM", 0, 50), genome.sequence(21).substr(0, 50));
+}
+
+TEST(GcFraction, Basics) {
+  EXPECT_DOUBLE_EQ(gc_fraction("GGCC"), 1.0);
+  EXPECT_DOUBLE_EQ(gc_fraction("AATT"), 0.0);
+  EXPECT_DOUBLE_EQ(gc_fraction("ACGT"), 0.5);
+  EXPECT_DOUBLE_EQ(gc_fraction("NNNN"), 0.0);  // no ACGT at all
+  EXPECT_DOUBLE_EQ(gc_fraction("GCNN"), 1.0);  // N excluded from denominator
+  EXPECT_DOUBLE_EQ(gc_fraction(""), 0.0);
+  EXPECT_DOUBLE_EQ(gc_fraction("gcat"), 0.5);  // case-insensitive
+}
+
+}  // namespace
+}  // namespace ngsx::fai

@@ -1,0 +1,298 @@
+// Tests for the partitioning strategies (§III): Algorithm 1 in both its
+// forward and backward implementations, the distributed form, and record
+// splitting. The central property: however the byte ranges land, the
+// induced per-rank record sets are disjoint line-aligned partitions whose
+// concatenation is exactly the file.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/partition.h"
+#include "util/rng.h"
+#include "util/tempdir.h"
+
+namespace ngsx::core {
+namespace {
+
+// ------------------------------------------------------------- split_even
+
+TEST(SplitEven, CoversRangeExactly) {
+  auto ranges = split_even(100, 1000, 7);
+  ASSERT_EQ(ranges.size(), 7u);
+  EXPECT_EQ(ranges.front().begin, 100u);
+  EXPECT_EQ(ranges.back().end, 1100u);
+  uint64_t total = 0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    total += ranges[i].size();
+    if (i > 0) {
+      EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+    }
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(SplitEven, SizesDifferByAtMostOne) {
+  auto ranges = split_even(0, 1003, 10);
+  uint64_t lo = ranges[0].size();
+  uint64_t hi = lo;
+  for (const auto& r : ranges) {
+    lo = std::min(lo, r.size());
+    hi = std::max(hi, r.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(SplitEven, MorePartitionsThanBytes) {
+  auto ranges = split_even(0, 3, 8);
+  ASSERT_EQ(ranges.size(), 8u);
+  uint64_t total = 0;
+  for (const auto& r : ranges) {
+    total += r.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(SplitRecords, EvenRecordSplit) {
+  auto parts = split_records(10, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (std::pair<uint64_t, uint64_t>{0, 4}));
+  EXPECT_EQ(parts[1], (std::pair<uint64_t, uint64_t>{4, 7}));
+  EXPECT_EQ(parts[2], (std::pair<uint64_t, uint64_t>{7, 10}));
+}
+
+TEST(SplitRecords, ZeroRecords) {
+  auto parts = split_records(0, 4);
+  for (const auto& [lo, hi] : parts) {
+    EXPECT_EQ(lo, hi);
+  }
+}
+
+// ----------------------------------------------------------------- fixture
+
+struct SamLikeFile {
+  TempDir tmp;
+  std::string path;
+  std::vector<std::string> lines;
+  uint64_t size = 0;
+
+  /// Builds a file of variable-length "records" separated by line breakers.
+  explicit SamLikeFile(int n_lines, uint64_t seed = 4,
+                       bool trailing_newline = true) {
+    Rng rng(seed);
+    std::string content;
+    for (int i = 0; i < n_lines; ++i) {
+      std::string line = "record-" + std::to_string(i) + "-";
+      line.append(static_cast<size_t>(rng.range(0, 120)), 'x');
+      lines.push_back(line);
+      content += line;
+      if (i + 1 < n_lines || trailing_newline) {
+        content += '\n';
+      }
+    }
+    path = tmp.file("t.txt");
+    write_file(path, content);
+    size = content.size();
+  }
+};
+
+/// Reads the complete lines inside `range` of `file`.
+std::vector<std::string> lines_in_range(const InputFile& file,
+                                        ByteRange range) {
+  std::vector<std::string> out;
+  std::string data = file.read_at(range.begin, range.size());
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t nl = data.find('\n', pos);
+    size_t end = nl == std::string::npos ? data.size() : nl;
+    out.emplace_back(data.substr(pos, end - pos));
+    pos = nl == std::string::npos ? data.size() : nl + 1;
+  }
+  return out;
+}
+
+void expect_partition_valid(const SamLikeFile& f,
+                            const std::vector<ByteRange>& ranges) {
+  InputFile file(f.path);
+  // Monotone, covering, disjoint.
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_EQ(ranges.back().end, f.size);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+  }
+  // Concatenated record streams reproduce the file's records exactly.
+  std::vector<std::string> all;
+  for (const auto& r : ranges) {
+    auto part = lines_in_range(file, r);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(all, f.lines);
+}
+
+// ---------------------------------------------------------------- scanning
+
+TEST(Scan, ForwardFindsNextLineStart) {
+  TempDir tmp;
+  std::string path = tmp.file("s.txt");
+  write_file(path, "abc\ndef\nghi\n");
+  InputFile file(path);
+  EXPECT_EQ(scan_forward_to_line_start(file, 0, 12), 4u);
+  EXPECT_EQ(scan_forward_to_line_start(file, 4, 12), 8u);
+  EXPECT_EQ(scan_forward_to_line_start(file, 1, 12), 4u);
+  // No newline before limit -> limit.
+  EXPECT_EQ(scan_forward_to_line_start(file, 9, 11), 11u);
+}
+
+TEST(Scan, BackwardFindsPreviousLineStart) {
+  TempDir tmp;
+  std::string path = tmp.file("s.txt");
+  write_file(path, "abc\ndef\nghi\n");
+  InputFile file(path);
+  EXPECT_EQ(scan_backward_to_line_start(file, 12, 0), 12u);  // 11 is '\n'
+  EXPECT_EQ(scan_backward_to_line_start(file, 11, 0), 8u);
+  EXPECT_EQ(scan_backward_to_line_start(file, 7, 0), 4u);
+  EXPECT_EQ(scan_backward_to_line_start(file, 3, 0), 0u);  // no \n before
+}
+
+TEST(Scan, ForwardAcrossChunkBoundary) {
+  // Line longer than the 64 KiB scan chunk.
+  TempDir tmp;
+  std::string path = tmp.file("big.txt");
+  std::string content(200000, 'a');
+  content += '\n';
+  content += "tail\n";
+  write_file(path, content);
+  InputFile file(path);
+  EXPECT_EQ(scan_forward_to_line_start(file, 10, content.size()), 200001u);
+  EXPECT_EQ(scan_backward_to_line_start(file, 200004, 0), 200001u);
+}
+
+// -------------------------------------------------------------- Algorithm 1
+
+class PartitionRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionRanks, ForwardVariantValid) {
+  SamLikeFile f(137);
+  InputFile file(f.path);
+  auto ranges = partition_sam_forward(file, {0, f.size}, GetParam());
+  ASSERT_EQ(ranges.size(), static_cast<size_t>(GetParam()));
+  expect_partition_valid(f, ranges);
+}
+
+TEST_P(PartitionRanks, BackwardVariantValid) {
+  SamLikeFile f(137);
+  InputFile file(f.path);
+  auto ranges = partition_sam_backward(file, {0, f.size}, GetParam());
+  expect_partition_valid(f, ranges);
+}
+
+TEST_P(PartitionRanks, DistributedMatchesForward) {
+  SamLikeFile f(101, /*seed=*/7);
+  InputFile probe(f.path);
+  auto expected = partition_sam_forward(probe, {0, f.size}, GetParam());
+  std::vector<ByteRange> got(static_cast<size_t>(GetParam()));
+  mpi::run(GetParam(), [&](mpi::Comm& comm) {
+    InputFile file(f.path);
+    got[static_cast<size_t>(comm.rank())] =
+        partition_sam_distributed(file, {0, f.size}, comm);
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(PartitionRanks, VariantsInduceSameRecordMultiset) {
+  // Forward and backward may cut at different boundaries but both must
+  // partition the same records.
+  SamLikeFile f(211, /*seed=*/13);
+  InputFile file(f.path);
+  auto fwd = partition_sam_forward(file, {0, f.size}, GetParam());
+  auto bwd = partition_sam_backward(file, {0, f.size}, GetParam());
+  std::vector<std::string> fwd_lines;
+  std::vector<std::string> bwd_lines;
+  for (const auto& r : fwd) {
+    auto part = lines_in_range(file, r);
+    fwd_lines.insert(fwd_lines.end(), part.begin(), part.end());
+  }
+  for (const auto& r : bwd) {
+    auto part = lines_in_range(file, r);
+    bwd_lines.insert(bwd_lines.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(fwd_lines, bwd_lines);
+  EXPECT_EQ(fwd_lines, f.lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, PartitionRanks,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31));
+
+TEST(Partition, NoTrailingNewline) {
+  SamLikeFile f(50, /*seed=*/3, /*trailing_newline=*/false);
+  InputFile file(f.path);
+  auto ranges = partition_sam_forward(file, {0, f.size}, 4);
+  expect_partition_valid(f, ranges);
+}
+
+TEST(Partition, MoreRanksThanLines) {
+  SamLikeFile f(3);
+  InputFile file(f.path);
+  auto ranges = partition_sam_forward(file, {0, f.size}, 16);
+  expect_partition_valid(f, ranges);
+  // Most ranges must be empty but still well-formed.
+  size_t nonempty = 0;
+  for (const auto& r : ranges) {
+    nonempty += r.size() > 0 ? 1 : 0;
+  }
+  EXPECT_LE(nonempty, 3u);
+}
+
+TEST(Partition, SingleLine) {
+  SamLikeFile f(1);
+  InputFile file(f.path);
+  auto ranges = partition_sam_forward(file, {0, f.size}, 4);
+  expect_partition_valid(f, ranges);
+}
+
+TEST(Partition, EmptyBody) {
+  TempDir tmp;
+  std::string path = tmp.file("empty.txt");
+  write_file(path, "");
+  InputFile file(path);
+  auto ranges = partition_sam_forward(file, {0, 0}, 4);
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.size(), 0u);
+  }
+}
+
+TEST(Partition, BodyOffsetRespected) {
+  // Header bytes before the body must never be assigned to any rank.
+  TempDir tmp;
+  std::string path = tmp.file("h.txt");
+  std::string header = "@HD\tVN:1.4\n@SQ\tSN:chr1\tLN:100\n";
+  std::string body = "r1 aaaa\nr2 bb\nr3 cccccc\n";
+  write_file(path, header + body);
+  InputFile file(path);
+  auto ranges =
+      partition_sam_forward(file, {header.size(), header.size() + body.size()},
+                            3);
+  EXPECT_EQ(ranges.front().begin, header.size());
+  std::vector<std::string> all;
+  for (const auto& r : ranges) {
+    auto part = lines_in_range(file, r);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(all, (std::vector<std::string>{"r1 aaaa", "r2 bb", "r3 cccccc"}));
+}
+
+TEST(Partition, DistributedManyRanksStress) {
+  SamLikeFile f(500, /*seed=*/17);
+  InputFile probe(f.path);
+  auto expected = partition_sam_forward(probe, {0, f.size}, 32);
+  std::vector<ByteRange> got(32);
+  mpi::run(32, [&](mpi::Comm& comm) {
+    InputFile file(f.path);
+    got[static_cast<size_t>(comm.rank())] =
+        partition_sam_distributed(file, {0, f.size}, comm);
+  });
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace ngsx::core

@@ -1,0 +1,424 @@
+// Tests for the SAM data model and text codec.
+
+#include <gtest/gtest.h>
+
+#include "formats/sam.h"
+#include "util/tempdir.h"
+
+namespace ngsx::sam {
+namespace {
+
+SamHeader test_header() {
+  return SamHeader::from_references(
+      {{"chr1", 100000}, {"chr2", 50000}, {"chrM", 16000}});
+}
+
+AlignmentRecord basic_record() {
+  AlignmentRecord rec;
+  rec.qname = "read/1";
+  rec.flag = kPaired | kProperPair | kRead1;
+  rec.ref_id = 0;
+  rec.pos = 99;  // 0-based
+  rec.mapq = 60;
+  rec.cigar = {{'M', 90}};
+  rec.mate_ref_id = 0;
+  rec.mate_pos = 299;
+  rec.tlen = 290;
+  rec.seq = std::string(90, 'A');
+  rec.qual = std::string(90, 'I');
+  return rec;
+}
+
+// ------------------------------------------------------------------ header
+
+TEST(SamHeader, FromReferencesSynthesizesText) {
+  SamHeader h = test_header();
+  EXPECT_NE(h.text().find("@HD"), std::string::npos);
+  EXPECT_NE(h.text().find("@SQ\tSN:chr1\tLN:100000"), std::string::npos);
+  EXPECT_EQ(h.references().size(), 3u);
+}
+
+TEST(SamHeader, FromTextParsesSq) {
+  SamHeader h = SamHeader::from_text(
+      "@HD\tVN:1.4\n@SQ\tSN:chrX\tLN:1234\n@PG\tID:bwa\n");
+  ASSERT_EQ(h.references().size(), 1u);
+  EXPECT_EQ(h.references()[0].name, "chrX");
+  EXPECT_EQ(h.references()[0].length, 1234);
+  EXPECT_EQ(h.ref_id("chrX"), 0);
+  EXPECT_EQ(h.ref_id("chrY"), -1);
+}
+
+TEST(SamHeader, RefNameLookup) {
+  SamHeader h = test_header();
+  EXPECT_EQ(h.ref_name(0), "chr1");
+  EXPECT_EQ(h.ref_name(2), "chrM");
+  EXPECT_EQ(h.ref_name(-1), "*");
+  EXPECT_THROW(h.ref_name(3), Error);
+  EXPECT_EQ(h.ref_length(1), 50000);
+}
+
+TEST(SamHeader, RejectsNonHeaderLine) {
+  EXPECT_THROW(SamHeader::from_text("read1\t0\tchr1\n"), FormatError);
+}
+
+TEST(SamHeader, RejectsSqMissingFields) {
+  EXPECT_THROW(SamHeader::from_text("@SQ\tSN:chr1\n"), FormatError);
+  EXPECT_THROW(SamHeader::from_text("@SQ\tLN:55\n"), FormatError);
+}
+
+TEST(SamHeader, EmptyHeaderOk) {
+  SamHeader h = SamHeader::from_text("");
+  EXPECT_TRUE(h.references().empty());
+}
+
+// ------------------------------------------------------------------- cigar
+
+TEST(Cigar, ParseBasic) {
+  auto ops = parse_cigar("76M2I12M");
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], (CigarOp{'M', 76}));
+  EXPECT_EQ(ops[1], (CigarOp{'I', 2}));
+  EXPECT_EQ(ops[2], (CigarOp{'M', 12}));
+}
+
+TEST(Cigar, ParseStarIsEmpty) {
+  EXPECT_TRUE(parse_cigar("*").empty());
+}
+
+TEST(Cigar, AllOpCodesRoundTrip) {
+  for (char op : std::string("MIDNSHP=X")) {
+    EXPECT_EQ(cigar_op_char(cigar_op_code(op)), op);
+  }
+  EXPECT_THROW(cigar_op_code('Q'), FormatError);
+  EXPECT_THROW(cigar_op_char(9), FormatError);
+}
+
+TEST(Cigar, FormatRoundTrip) {
+  std::string out;
+  format_cigar(parse_cigar("5S85M1D4M2H"), out);
+  EXPECT_EQ(out, "5S85M1D4M2H");
+  out.clear();
+  format_cigar({}, out);
+  EXPECT_EQ(out, "*");
+}
+
+TEST(Cigar, ParseErrors) {
+  EXPECT_THROW(parse_cigar("M"), FormatError);      // op without length
+  EXPECT_THROW(parse_cigar("12"), FormatError);     // trailing length
+  EXPECT_THROW(parse_cigar("5Q"), FormatError);     // unknown op
+  EXPECT_THROW(parse_cigar("99999999999M"), FormatError);  // overflow
+}
+
+TEST(Cigar, ConsumesFlags) {
+  EXPECT_TRUE((CigarOp{'M', 1}).consumes_reference());
+  EXPECT_TRUE((CigarOp{'M', 1}).consumes_query());
+  EXPECT_TRUE((CigarOp{'D', 1}).consumes_reference());
+  EXPECT_FALSE((CigarOp{'D', 1}).consumes_query());
+  EXPECT_FALSE((CigarOp{'I', 1}).consumes_reference());
+  EXPECT_TRUE((CigarOp{'I', 1}).consumes_query());
+  EXPECT_FALSE((CigarOp{'S', 1}).consumes_reference());
+  EXPECT_TRUE((CigarOp{'S', 1}).consumes_query());
+  EXPECT_FALSE((CigarOp{'H', 1}).consumes_reference());
+  EXPECT_FALSE((CigarOp{'H', 1}).consumes_query());
+  EXPECT_TRUE((CigarOp{'N', 1}).consumes_reference());
+  EXPECT_TRUE((CigarOp{'=', 1}).consumes_reference());
+  EXPECT_TRUE((CigarOp{'X', 1}).consumes_query());
+}
+
+// --------------------------------------------------------------------- aux
+
+TEST(Aux, ParseInt) {
+  AuxField a = parse_aux("NM:i:-3");
+  EXPECT_EQ(a.tag[0], 'N');
+  EXPECT_EQ(a.tag[1], 'M');
+  EXPECT_EQ(a.type, 'i');
+  EXPECT_EQ(a.int_value, -3);
+}
+
+TEST(Aux, ParseChar) {
+  AuxField a = parse_aux("XT:A:U");
+  EXPECT_EQ(a.type, 'A');
+  EXPECT_EQ(static_cast<char>(a.int_value), 'U');
+  EXPECT_THROW(parse_aux("XT:A:UU"), FormatError);
+}
+
+TEST(Aux, ParseFloat) {
+  AuxField a = parse_aux("XF:f:2.5");
+  EXPECT_EQ(a.type, 'f');
+  EXPECT_DOUBLE_EQ(a.float_value, 2.5);
+}
+
+TEST(Aux, ParseStringAndHex) {
+  EXPECT_EQ(parse_aux("MD:Z:10A79").str_value, "10A79");
+  EXPECT_EQ(parse_aux("XH:H:1AFF").str_value, "1AFF");
+  EXPECT_EQ(parse_aux("MD:Z:").str_value, "");
+}
+
+TEST(Aux, ParseIntArray) {
+  AuxField a = parse_aux("ZB:B:S,1,2,65535");
+  EXPECT_EQ(a.type, 'B');
+  EXPECT_EQ(a.subtype, 'S');
+  EXPECT_EQ(a.int_array, (std::vector<int64_t>{1, 2, 65535}));
+}
+
+TEST(Aux, ParseFloatArray) {
+  AuxField a = parse_aux("ZF:B:f,1.5,-2.5");
+  EXPECT_EQ(a.subtype, 'f');
+  ASSERT_EQ(a.float_array.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.float_array[1], -2.5);
+}
+
+TEST(Aux, ParseEmptyArray) {
+  AuxField a = parse_aux("ZB:B:c");
+  EXPECT_TRUE(a.int_array.empty());
+}
+
+TEST(Aux, ParseErrors) {
+  EXPECT_THROW(parse_aux("N:i:1"), FormatError);     // short tag
+  EXPECT_THROW(parse_aux("NM=i=1"), FormatError);    // bad separators
+  EXPECT_THROW(parse_aux("NM:q:1"), FormatError);    // unknown type
+  EXPECT_THROW(parse_aux("NM:i:abc"), FormatError);  // bad int
+  EXPECT_THROW(parse_aux("ZB:B:q,1"), FormatError);  // unknown subtype
+  EXPECT_THROW(parse_aux("ZB:B:"), FormatError);     // empty B
+}
+
+TEST(Aux, FormatRoundTrip) {
+  for (const char* text :
+       {"NM:i:7", "XT:A:M", "XF:f:0.5", "MD:Z:90", "XH:H:ABCD",
+        "ZB:B:S,3,1,2", "ZF:B:f,1.5", "ZC:B:c,-1,2"}) {
+    std::string out;
+    format_aux(parse_aux(text), out);
+    EXPECT_EQ(out, text);
+  }
+}
+
+// ------------------------------------------------------------------ record
+
+TEST(Record, ParseMinimalLine) {
+  SamHeader h = test_header();
+  AlignmentRecord rec;
+  parse_record("r1\t0\tchr1\t100\t60\t90M\t*\t0\t0\t*\t*", h, rec);
+  EXPECT_EQ(rec.qname, "r1");
+  EXPECT_EQ(rec.flag, 0);
+  EXPECT_EQ(rec.ref_id, 0);
+  EXPECT_EQ(rec.pos, 99);  // converted to 0-based
+  EXPECT_EQ(rec.mapq, 60);
+  EXPECT_EQ(rec.cigar.size(), 1u);
+  EXPECT_EQ(rec.mate_ref_id, -1);
+  EXPECT_TRUE(rec.seq.empty());
+  EXPECT_TRUE(rec.qual.empty());
+  EXPECT_TRUE(rec.tags.empty());
+}
+
+TEST(Record, ParseWithTagsAndMate) {
+  SamHeader h = test_header();
+  AlignmentRecord rec;
+  parse_record(
+      "r2\t99\tchr1\t100\t60\t90M\t=\t300\t290\tACGT\tIIII\tNM:i:1\tMD:Z:90",
+      h, rec);
+  EXPECT_EQ(rec.mate_ref_id, 0);  // '=' resolves to same reference
+  EXPECT_EQ(rec.mate_pos, 299);
+  EXPECT_EQ(rec.tlen, 290);
+  ASSERT_EQ(rec.tags.size(), 2u);
+  EXPECT_EQ(rec.tags[0].int_value, 1);
+  EXPECT_EQ(rec.tags[1].str_value, "90");
+}
+
+TEST(Record, ParseMateOnOtherChromosome) {
+  SamHeader h = test_header();
+  AlignmentRecord rec;
+  parse_record("r\t1\tchr1\t10\t0\t*\tchr2\t99\t0\t*\t*", h, rec);
+  EXPECT_EQ(rec.mate_ref_id, 1);
+  EXPECT_EQ(rec.mate_pos, 98);
+}
+
+TEST(Record, ParseUnmapped) {
+  SamHeader h = test_header();
+  AlignmentRecord rec;
+  parse_record("u\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\t!!!!", h, rec);
+  EXPECT_TRUE(rec.is_unmapped());
+  EXPECT_EQ(rec.ref_id, -1);
+  EXPECT_EQ(rec.pos, -1);
+}
+
+TEST(Record, ParseCrLf) {
+  SamHeader h = test_header();
+  AlignmentRecord rec;
+  parse_record("r\t0\tchr1\t1\t0\t*\t*\t0\t0\t*\t*\r", h, rec);
+  EXPECT_EQ(rec.qname, "r");
+}
+
+TEST(Record, ParseErrors) {
+  SamHeader h = test_header();
+  AlignmentRecord rec;
+  EXPECT_THROW(parse_record("too\tfew\tfields", h, rec), FormatError);
+  EXPECT_THROW(
+      parse_record("r\t0\tchrZ\t1\t0\t*\t*\t0\t0\t*\t*", h, rec),
+      FormatError);  // unknown reference
+  EXPECT_THROW(
+      parse_record("r\t0\tchr1\t1\t0\t*\tchrZ\t0\t0\t*\t*", h, rec),
+      FormatError);  // unknown mate reference
+  EXPECT_THROW(
+      parse_record("r\tx\tchr1\t1\t0\t*\t*\t0\t0\t*\t*", h, rec),
+      FormatError);  // bad flag
+  EXPECT_THROW(
+      parse_record("r\t0\tchr1\t1\t0\t*\t*\t0\t0\tACGT\tII", h, rec),
+      FormatError);  // SEQ/QUAL mismatch
+}
+
+TEST(Record, FormatRoundTrip) {
+  SamHeader h = test_header();
+  AlignmentRecord rec = basic_record();
+  AuxField nm;
+  nm.tag = {'N', 'M'};
+  nm.type = 'i';
+  nm.int_value = 2;
+  rec.tags.push_back(nm);
+
+  std::string line;
+  format_record(rec, h, line);
+  AlignmentRecord back;
+  parse_record(line, h, back);
+  EXPECT_EQ(back, rec);
+}
+
+TEST(Record, FormatUsesEqualsForSameMateRef) {
+  SamHeader h = test_header();
+  AlignmentRecord rec = basic_record();
+  std::string line;
+  format_record(rec, h, line);
+  EXPECT_NE(line.find("\t=\t"), std::string::npos);
+}
+
+TEST(Record, FormatUnmappedStars) {
+  SamHeader h = test_header();
+  AlignmentRecord rec;
+  rec.qname = "u";
+  rec.flag = kUnmapped;
+  std::string line;
+  format_record(rec, h, line);
+  EXPECT_EQ(line, "u\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*");
+}
+
+TEST(Record, ReferenceSpan) {
+  AlignmentRecord rec = basic_record();
+  EXPECT_EQ(rec.reference_span(), 90);
+  rec.cigar = parse_cigar("5S80M5S");
+  EXPECT_EQ(rec.reference_span(), 80);
+  rec.cigar = parse_cigar("40M10D40M");
+  EXPECT_EQ(rec.reference_span(), 90);
+  rec.cigar = parse_cigar("40M10I40M");
+  EXPECT_EQ(rec.reference_span(), 80);
+  rec.cigar = parse_cigar("30M1000N30M");
+  EXPECT_EQ(rec.reference_span(), 1060);
+  rec.cigar.clear();
+  EXPECT_EQ(rec.reference_span(), 0);
+  EXPECT_EQ(rec.end_pos(), rec.pos + 1);  // minimum span 1
+}
+
+TEST(Record, FindTag) {
+  AlignmentRecord rec = basic_record();
+  AuxField nm = parse_aux("NM:i:5");
+  rec.tags.push_back(nm);
+  ASSERT_NE(rec.find_tag("NM"), nullptr);
+  EXPECT_EQ(rec.find_tag("NM")->int_value, 5);
+  EXPECT_EQ(rec.find_tag("XX"), nullptr);
+}
+
+// --------------------------------------------------------------- revcomp
+
+TEST(RevComp, Basic) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");
+  EXPECT_EQ(reverse_complement("AAAC"), "GTTT");
+  EXPECT_EQ(reverse_complement("N"), "N");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(RevComp, Involution) {
+  std::string s = "ACGTNRYSWKMBDHV";
+  EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+}
+
+// --------------------------------------------------------------- file I/O
+
+TEST(SamFile, WriteReadRoundTrip) {
+  TempDir tmp;
+  SamHeader h = test_header();
+  std::string path = tmp.file("t.sam");
+  std::vector<AlignmentRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    AlignmentRecord rec = basic_record();
+    rec.qname = "r" + std::to_string(i);
+    rec.pos = i * 10;
+    rec.mate_pos = i * 10 + 200;
+    records.push_back(rec);
+  }
+  {
+    SamFileWriter w(path, h);
+    for (const auto& r : records) {
+      w.write(r);
+    }
+    w.close();
+  }
+  SamFileReader reader(path);
+  EXPECT_EQ(reader.header().references().size(), 3u);
+  AlignmentRecord rec;
+  size_t i = 0;
+  while (reader.next(rec)) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(rec, records[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+}
+
+TEST(SamFile, HeaderOnlyFile) {
+  TempDir tmp;
+  std::string path = tmp.file("h.sam");
+  write_file(path, test_header().text());
+  SamFileReader reader(path);
+  AlignmentRecord rec;
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_EQ(reader.alignment_start_offset(), test_header().text().size());
+}
+
+TEST(SamFile, NoTrailingNewline) {
+  TempDir tmp;
+  std::string path = tmp.file("t.sam");
+  SamHeader h = test_header();
+  write_file(path,
+             h.text() + "r1\t0\tchr1\t1\t0\t*\t*\t0\t0\t*\t*");
+  SamFileReader reader(path);
+  AlignmentRecord rec;
+  EXPECT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.qname, "r1");
+  EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(SamFile, EmptyFile) {
+  TempDir tmp;
+  std::string path = tmp.file("e.sam");
+  write_file(path, "");
+  SamFileReader reader(path);
+  AlignmentRecord rec;
+  EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(SamFile, BlankLinesSkipped) {
+  TempDir tmp;
+  std::string path = tmp.file("b.sam");
+  SamHeader h = test_header();
+  write_file(path, h.text() +
+                       "r1\t0\tchr1\t1\t0\t*\t*\t0\t0\t*\t*\n\n"
+                       "r2\t0\tchr1\t2\t0\t*\t*\t0\t0\t*\t*\n");
+  SamFileReader reader(path);
+  AlignmentRecord rec;
+  int count = 0;
+  while (reader.next(rec)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace ngsx::sam

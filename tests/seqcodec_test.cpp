@@ -1,0 +1,80 @@
+// Tests for the shared 4-bit sequence / quality codec.
+
+#include <gtest/gtest.h>
+
+#include "formats/seqcodec.h"
+#include "util/rng.h"
+
+namespace ngsx::seqcodec {
+namespace {
+
+TEST(SeqCodec, NibbleTableMatchesSpec) {
+  // SAM spec encoding table "=ACMGRSVTWYHKDBN", positions 0..15.
+  for (size_t i = 0; i < kNibbles.size(); ++i) {
+    EXPECT_EQ(base_to_nibble(kNibbles[i]), i);
+  }
+  EXPECT_EQ(base_to_nibble('a'), base_to_nibble('A'));
+  EXPECT_EQ(base_to_nibble('t'), base_to_nibble('T'));
+  EXPECT_EQ(base_to_nibble('?'), 15);  // unknown -> N
+}
+
+TEST(SeqCodec, PackUnpackRoundTrip) {
+  Rng rng(3);
+  for (size_t len : {0u, 1u, 2u, 7u, 90u, 151u}) {
+    std::string seq;
+    for (size_t i = 0; i < len; ++i) {
+      seq += kNibbles[rng.below(16)];
+    }
+    std::string packed;
+    pack_seq(seq, packed);
+    EXPECT_EQ(packed.size(), (len + 1) / 2);
+    std::string back;
+    unpack_seq(packed.data(), len, back);
+    EXPECT_EQ(back, seq) << "len " << len;
+  }
+}
+
+TEST(SeqCodec, PackAppends) {
+  std::string out = "prefix";
+  pack_seq("ACGT", out);
+  EXPECT_EQ(out.size(), 6u + 2u);
+  EXPECT_EQ(out.substr(0, 6), "prefix");
+}
+
+TEST(SeqCodec, PackIntoBufferMatchesPack) {
+  std::string seq = "ACGTNACGTNA";  // odd length
+  std::string a;
+  pack_seq(seq, a);
+  std::string b((seq.size() + 1) / 2, '\0');
+  pack_seq_into(seq, b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SeqCodec, LowercaseNormalizesToUppercase) {
+  std::string packed;
+  pack_seq("acgt", packed);
+  std::string back;
+  unpack_seq(packed.data(), 4, back);
+  EXPECT_EQ(back, "ACGT");
+}
+
+TEST(SeqCodec, QualConversionRoundTrip) {
+  std::string ascii = "!#5IJ~";
+  std::string raw(ascii.size(), '\0');
+  ascii_to_quals(ascii, raw.data());
+  EXPECT_EQ(raw[0], 0);  // '!' is Phred 0
+  std::string back;
+  quals_to_ascii(raw.data(), raw.size(), back);
+  EXPECT_EQ(back, ascii);
+}
+
+TEST(SeqCodec, UnpackReplacesOutput) {
+  std::string out = "stale-content";
+  std::string packed;
+  pack_seq("GG", packed);
+  unpack_seq(packed.data(), 2, out);
+  EXPECT_EQ(out, "GG");
+}
+
+}  // namespace
+}  // namespace ngsx::seqcodec

@@ -1,0 +1,397 @@
+// Tests for the statistical-analysis module: coverage histograms, NL-means
+// denoising (sequential/parallel equivalence — the paper's halo replication
+// correctness), and FDR (reference == fused == Algorithm 2 == two-pass).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "simdata/histsim.h"
+#include "simdata/readsim.h"
+#include "stats/fdr.h"
+#include "stats/histogram.h"
+#include "stats/nlmeans.h"
+#include "util/tempdir.h"
+
+namespace ngsx::stats {
+namespace {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+// ---------------------------------------------------------------- histogram
+
+SamHeader small_header() {
+  return SamHeader::from_references({{"chr1", 1000}, {"chr2", 500}});
+}
+
+AlignmentRecord rec_at(int32_t ref, int32_t pos, const char* cigar = "90M") {
+  AlignmentRecord rec;
+  rec.qname = "r";
+  rec.ref_id = ref;
+  rec.pos = pos;
+  rec.cigar = sam::parse_cigar(cigar);
+  return rec;
+}
+
+TEST(Histogram, BinCountsFromLengths) {
+  CoverageHistogram h(small_header(), 25);
+  EXPECT_EQ(h.bins(0).size(), 40u);  // 1000/25
+  EXPECT_EQ(h.bins(1).size(), 20u);
+  EXPECT_EQ(h.total_bins(), 60u);
+}
+
+TEST(Histogram, RoundsUpPartialBin) {
+  CoverageHistogram h(SamHeader::from_references({{"c", 26}}), 25);
+  EXPECT_EQ(h.bins(0).size(), 2u);
+}
+
+TEST(Histogram, AddCoversOverlappedBins) {
+  CoverageHistogram h(small_header(), 25);
+  // 90M starting at 10 covers [10,100) -> bins 0..3.
+  EXPECT_TRUE(h.add(rec_at(0, 10)));
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(h.bins(0)[b], 1.0) << "bin " << b;
+  }
+  EXPECT_EQ(h.bins(0)[4], 0.0);
+}
+
+TEST(Histogram, SingleBinAlignment) {
+  CoverageHistogram h(small_header(), 25);
+  h.add(rec_at(0, 30, "10M"));
+  EXPECT_EQ(h.bins(0)[1], 1.0);
+  EXPECT_EQ(h.bins(0)[0], 0.0);
+  EXPECT_EQ(h.bins(0)[2], 0.0);
+}
+
+TEST(Histogram, SkipsUnmapped) {
+  CoverageHistogram h(small_header(), 25);
+  AlignmentRecord rec = rec_at(0, 10);
+  rec.flag = sam::kUnmapped;
+  EXPECT_FALSE(h.add(rec));
+  rec = rec_at(-1, -1, "*");
+  EXPECT_FALSE(h.add(rec));
+}
+
+TEST(Histogram, ClampsAtChromosomeEnd) {
+  CoverageHistogram h(small_header(), 25);
+  EXPECT_TRUE(h.add(rec_at(0, 990)));  // spills past 1000
+  EXPECT_EQ(h.bins(0).back(), 1.0);
+}
+
+TEST(Histogram, FlattenConcatenatesChromosomes) {
+  CoverageHistogram h(small_header(), 25);
+  h.add(rec_at(0, 0, "10M"));
+  h.add(rec_at(1, 0, "10M"));
+  auto flat = h.flatten();
+  ASSERT_EQ(flat.size(), 60u);
+  EXPECT_EQ(flat[0], 1.0);
+  EXPECT_EQ(flat[40], 1.0);  // first bin of chr2
+}
+
+TEST(Histogram, BedgraphRoundTrip) {
+  TempDir tmp;
+  CoverageHistogram h(small_header(), 25);
+  for (int i = 0; i < 30; ++i) {
+    h.add(rec_at(0, (i * 37) % 900));
+    h.add(rec_at(1, (i * 53) % 400, "45M"));
+  }
+  std::string path = tmp.file("h.bedgraph");
+  h.write_bedgraph(path);
+  auto back = CoverageHistogram::read_bedgraph(path, small_header(), 25);
+  EXPECT_EQ(back.bins(0), h.bins(0));
+  EXPECT_EQ(back.bins(1), h.bins(1));
+}
+
+TEST(Histogram, BedgraphMergesRuns) {
+  TempDir tmp;
+  CoverageHistogram h(SamHeader::from_references({{"c", 100}}), 10);
+  // All bins zero -> exactly one run per chromosome.
+  std::string path = tmp.file("h.bedgraph");
+  h.write_bedgraph(path);
+  std::string text = read_file(path);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+  EXPECT_EQ(text, "c\t0\t100\t0\n");
+}
+
+TEST(Histogram, FromSamAndBamAgree) {
+  TempDir tmp;
+  auto genome = simdata::ReferenceGenome::simulate(
+      simdata::mouse_like_references(300000), 14);
+  simdata::ReadSimConfig cfg;
+  cfg.seed = 14;
+  std::string sam_path = tmp.file("x.sam");
+  std::string bam_path = tmp.file("x.bam");
+  simdata::write_sam_dataset(sam_path, genome, 200, cfg);
+  simdata::write_bam_dataset(bam_path, genome, 200, cfg);
+  auto from_sam = histogram_from_sam(sam_path, 25);
+  auto from_bam = histogram_from_bam(bam_path, 25);
+  EXPECT_EQ(from_sam.flatten(), from_bam.flatten());
+  // Mean coverage should be near pairs*2*90 / genome_size.
+  auto flat = from_sam.flatten();
+  double covered =
+      std::accumulate(flat.begin(), flat.end(), 0.0) * 25;
+  EXPECT_GT(covered, 0.0);
+}
+
+// ----------------------------------------------------------------- NL-means
+
+std::vector<double> noisy_signal(size_t n, uint64_t seed) {
+  simdata::HistSimConfig cfg;
+  cfg.seed = seed;
+  return simdata::simulate_histogram(n, cfg);
+}
+
+TEST(NlMeans, ConstantInputIsFixedPoint) {
+  std::vector<double> flat(500, 7.0);
+  NlMeansParams params;
+  auto out = nlmeans(flat, params);
+  for (double v : out) {
+    EXPECT_NEAR(v, 7.0, 1e-9);
+  }
+}
+
+TEST(NlMeans, OutputSizeMatches) {
+  auto data = noisy_signal(1000, 3);
+  EXPECT_EQ(nlmeans(data, {}).size(), data.size());
+  EXPECT_TRUE(nlmeans(std::vector<double>{}, {}).empty());
+}
+
+TEST(NlMeans, ReducesNoiseVariance) {
+  // Pure noise around a constant: denoising must shrink the variance.
+  auto data = simdata::simulate_null(4000, 10.0, 5);
+  auto out = nlmeans(data, {});
+  auto variance = [](const std::vector<double>& v) {
+    double mean = std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+    double acc = 0;
+    for (double x : v) {
+      acc += (x - mean) * (x - mean);
+    }
+    return acc / v.size();
+  };
+  EXPECT_LT(variance(out), variance(data) * 0.5);
+}
+
+TEST(NlMeans, PreservesMeanApproximately) {
+  auto data = noisy_signal(3000, 9);
+  auto out = nlmeans(data, {});
+  double in_mean = std::accumulate(data.begin(), data.end(), 0.0) /
+                   data.size();
+  double out_mean =
+      std::accumulate(out.begin(), out.end(), 0.0) / out.size();
+  EXPECT_NEAR(out_mean, in_mean, in_mean * 0.1);
+}
+
+TEST(NlMeans, RangeApiMatchesWhole) {
+  auto data = noisy_signal(800, 7);
+  auto whole = nlmeans(data, {});
+  std::vector<double> part(300);
+  nlmeans_range(data, 200, 500, {}, part);
+  for (size_t i = 0; i < 300; ++i) {
+    EXPECT_DOUBLE_EQ(part[i], whole[200 + i]);
+  }
+}
+
+class NlMeansRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(NlMeansRanks, ParallelBitIdenticalToSequential) {
+  auto data = noisy_signal(2000, 31);
+  NlMeansParams params;
+  auto seq = nlmeans(data, params);
+  auto par = nlmeans_parallel(data, params, GetParam());
+  ASSERT_EQ(par.size(), seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par[i], seq[i]) << "point " << i;
+  }
+}
+
+TEST_P(NlMeansRanks, OmpBitIdenticalToSequential) {
+  auto data = noisy_signal(1500, 32);
+  NlMeansParams params;
+  params.r = 12;
+  params.l = 5;
+  auto seq = nlmeans(data, params);
+  auto par = nlmeans_parallel_omp(data, params, GetParam());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par[i], seq[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, NlMeansRanks,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(NlMeans, TinyPartitionsStillCorrect) {
+  // Partitions smaller than the halo exercise the deep-halo fallback.
+  auto data = noisy_signal(40, 33);
+  NlMeansParams params;  // r+l = 35 > 40/8 = 5 per rank
+  auto seq = nlmeans(data, params);
+  auto par = nlmeans_parallel(data, params, 8);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par[i], seq[i]);
+  }
+}
+
+TEST(NlMeans, VariousParameters) {
+  auto data = noisy_signal(600, 41);
+  for (int r : {1, 5, 40}) {
+    for (int l : {0, 1, 10}) {
+      NlMeansParams params;
+      params.r = r;
+      params.l = l;
+      auto seq = nlmeans(data, params);
+      auto par = nlmeans_parallel(data, params, 4);
+      for (size_t i = 0; i < seq.size(); ++i) {
+        ASSERT_DOUBLE_EQ(par[i], seq[i]) << "r=" << r << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(NlMeans, InvalidParamsRejected) {
+  std::vector<double> data(10, 1.0);
+  NlMeansParams bad;
+  bad.sigma = 0;
+  EXPECT_THROW(nlmeans(data, bad), Error);
+  bad = {};
+  bad.r = -1;
+  EXPECT_THROW(nlmeans(data, bad), Error);
+}
+
+// ---------------------------------------------------------------------- FDR
+
+struct FdrFixture {
+  std::vector<double> hist;
+  SimulationSet sims;
+
+  explicit FdrFixture(size_t m = 500, size_t b = 12, uint64_t seed = 3) {
+    simdata::HistSimConfig cfg;
+    cfg.seed = seed;
+    cfg.peak_density = 0.01;
+    hist = simdata::simulate_histogram(m, cfg);
+    sims = simdata::simulate_null_batch(m, b, cfg.background_rate, seed);
+  }
+};
+
+TEST(Fdr, HandComputedExample) {
+  // M=3 bins, B=2 sims; verify against a by-hand evaluation of eqs. 4-6.
+  std::vector<double> hist = {5, 0, 2};
+  SimulationSet sims = {{1, 2, 3}, {4, 0, 1}};
+  // p_i: bin0: 5<=1? no, 5<=4? no -> 0. bin1: 0<=2 yes, 0<=0 yes -> 2.
+  //      bin2: 2<=3 yes, 2<=1 no -> 1.
+  // For p_t=0: denominator = #(p_i<=0) = 1 (bin0).
+  // inner ranks: sim b=0: bin0: 1<=1,1<=4 -> 2; bin1: 2<=2,2<=0 -> 1;
+  //   bin2: 3<=3,3<=1 -> 1. d_0 = #(rank<=0) = 0.
+  // sim b=1: bin0: 4<=1,4<=4 -> 1; bin1: 0<=2,0<=0 -> 2; bin2: 1<=3,1<=1 ->2.
+  //   d_1 = 0. numerator = (0+0)/2 = 0 -> FDR 0.
+  FdrResult r0 = fdr_reference(hist, sims, 0);
+  EXPECT_DOUBLE_EQ(r0.numerator, 0.0);
+  EXPECT_DOUBLE_EQ(r0.denominator, 1.0);
+  EXPECT_DOUBLE_EQ(r0.fdr, 0.0);
+  // For p_t=1: denominator = #(p_i<=1) = 2 (bin0, bin2).
+  // d_0 = #(rank<=1) = 2 (bins 1,2); d_1 = #(rank<=1) = 1 (bin0).
+  // numerator = 3/2 = 1.5; FDR = 1.5/2 = 0.75.
+  FdrResult r1 = fdr_reference(hist, sims, 1);
+  EXPECT_DOUBLE_EQ(r1.numerator, 1.5);
+  EXPECT_DOUBLE_EQ(r1.denominator, 2.0);
+  EXPECT_DOUBLE_EQ(r1.fdr, 0.75);
+}
+
+TEST(Fdr, FusedEqualsReference) {
+  FdrFixture f;
+  for (int p_t : {0, 1, 3, 6, 12}) {
+    FdrResult ref = fdr_reference(f.hist, f.sims, p_t);
+    FdrResult fused = fdr_fused(f.hist, f.sims, p_t);
+    EXPECT_DOUBLE_EQ(fused.numerator, ref.numerator) << "p_t=" << p_t;
+    EXPECT_DOUBLE_EQ(fused.denominator, ref.denominator);
+    EXPECT_DOUBLE_EQ(fused.fdr, ref.fdr);
+  }
+}
+
+class FdrRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(FdrRanks, ParallelEqualsReference) {
+  FdrFixture f;
+  for (int p_t : {0, 2, 7}) {
+    FdrResult ref = fdr_reference(f.hist, f.sims, p_t);
+    FdrResult par = fdr_parallel(f.hist, f.sims, p_t, GetParam());
+    EXPECT_DOUBLE_EQ(par.fdr, ref.fdr) << "p_t=" << p_t;
+    EXPECT_DOUBLE_EQ(par.numerator, ref.numerator);
+    EXPECT_DOUBLE_EQ(par.denominator, ref.denominator);
+  }
+}
+
+TEST_P(FdrRanks, TwoPassEqualsReference) {
+  FdrFixture f;
+  FdrResult ref = fdr_reference(f.hist, f.sims, 4);
+  FdrResult two = fdr_parallel_two_pass(f.hist, f.sims, 4, GetParam());
+  EXPECT_DOUBLE_EQ(two.fdr, ref.fdr);
+}
+
+TEST_P(FdrRanks, OmpEqualsReference) {
+  FdrFixture f;
+  FdrResult ref = fdr_reference(f.hist, f.sims, 4);
+  FdrResult omp = fdr_parallel_omp(f.hist, f.sims, 4, GetParam());
+  EXPECT_DOUBLE_EQ(omp.fdr, ref.fdr);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, FdrRanks,
+                         ::testing::Values(1, 2, 3, 8, 16));
+
+TEST(Fdr, MoreRanksThanBins) {
+  FdrFixture f(/*m=*/5, /*b=*/4);
+  FdrResult ref = fdr_reference(f.hist, f.sims, 1);
+  FdrResult par = fdr_parallel(f.hist, f.sims, 1, 16);
+  EXPECT_DOUBLE_EQ(par.fdr, ref.fdr);
+}
+
+TEST(Fdr, ZeroDenominatorSafe) {
+  // A histogram far above every simulation: p_i = 0 everywhere, so the
+  // denominator at p_t = -1 is 0 (impossible threshold).
+  std::vector<double> hist = {100, 100};
+  SimulationSet sims = {{1, 1}, {2, 2}};
+  FdrResult res = fdr_fused(hist, sims, -1);
+  EXPECT_DOUBLE_EQ(res.denominator, 0.0);
+  EXPECT_DOUBLE_EQ(res.fdr, 0.0);
+}
+
+TEST(Fdr, MismatchedSizesRejected) {
+  std::vector<double> hist = {1, 2, 3};
+  SimulationSet sims = {{1, 2}};
+  EXPECT_THROW(fdr_fused(hist, sims, 1), Error);
+  EXPECT_THROW(fdr_fused(hist, {}, 1), Error);
+}
+
+TEST(Fdr, PeakyHistogramHasLowFdrAtStrictThreshold) {
+  // Real peaks (histogram >> null): at strict p_t the discoveries are
+  // dominated by true peaks, so FDR stays below the null expectation.
+  FdrFixture f(/*m=*/2000, /*b=*/20, /*seed=*/8);
+  FdrResult strict = fdr_fused(f.hist, f.sims, 0);
+  EXPECT_GT(strict.denominator, 0.0);
+  EXPECT_LT(strict.fdr, 0.5);
+}
+
+TEST(Fdr, SelectThresholdFindsQualifyingPt) {
+  FdrFixture f(/*m=*/1500, /*b=*/16, /*seed=*/10);
+  int p_t = select_threshold(f.hist, f.sims, 0.2);
+  ASSERT_GE(p_t, 0);
+  FdrResult at = fdr_fused(f.hist, f.sims, p_t);
+  EXPECT_LE(at.fdr, 0.2);
+  EXPECT_GT(at.denominator, 0.0);
+}
+
+TEST(Fdr, SelectThresholdReturnsMinusOneWhenImpossible) {
+  // Histogram below all simulations: every bin is "discovered" even at
+  // lenient thresholds and the null rate is high; target 0 unachievable
+  // when every d_b > 0.
+  std::vector<double> hist(50, 0.0);
+  SimulationSet sims;
+  for (int b = 0; b < 4; ++b) {
+    sims.push_back(std::vector<double>(50, 5.0 + b));
+  }
+  EXPECT_EQ(select_threshold(hist, sims, -0.1), -1);
+}
+
+}  // namespace
+}  // namespace ngsx::stats

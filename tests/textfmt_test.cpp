@@ -1,0 +1,220 @@
+// Tests for the target-format text serializers (BED, BEDGRAPH, FASTA,
+// FASTQ, JSON, YAML).
+
+#include <gtest/gtest.h>
+
+#include "formats/textfmt.h"
+
+namespace ngsx::textfmt {
+namespace {
+
+using sam::AlignmentRecord;
+using sam::SamHeader;
+
+SamHeader test_header() {
+  return SamHeader::from_references({{"chr1", 100000}, {"chr2", 50000}});
+}
+
+AlignmentRecord mapped_record() {
+  AlignmentRecord rec;
+  rec.qname = "readA";
+  rec.flag = sam::kPaired | sam::kRead1;
+  rec.ref_id = 0;
+  rec.pos = 999;
+  rec.mapq = 42;
+  rec.cigar = sam::parse_cigar("10M");
+  rec.mate_ref_id = 0;
+  rec.mate_pos = 1200;
+  rec.tlen = 211;
+  rec.seq = "ACGTACGTAC";
+  rec.qual = "IIIIIIIIII";
+  return rec;
+}
+
+AlignmentRecord unmapped_record() {
+  AlignmentRecord rec;
+  rec.qname = "lost";
+  rec.flag = sam::kUnmapped;
+  rec.seq = "ACGT";
+  rec.qual = "!!!!";
+  return rec;
+}
+
+// --------------------------------------------------------------------- BED
+
+TEST(Bed, MappedRecordLine) {
+  std::string out;
+  EXPECT_TRUE(append_bed(mapped_record(), test_header(), out));
+  EXPECT_EQ(out, "chr1\t999\t1009\treadA\t42\t+\n");
+}
+
+TEST(Bed, ReverseStrand) {
+  AlignmentRecord rec = mapped_record();
+  rec.flag |= sam::kReverse;
+  std::string out;
+  append_bed(rec, test_header(), out);
+  EXPECT_NE(out.find("\t-\n"), std::string::npos);
+}
+
+TEST(Bed, SkipsUnmapped) {
+  std::string out;
+  EXPECT_FALSE(append_bed(unmapped_record(), test_header(), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Bed, EndUsesCigarSpan) {
+  AlignmentRecord rec = mapped_record();
+  rec.cigar = sam::parse_cigar("5M10D5M");  // span 20
+  std::string out;
+  append_bed(rec, test_header(), out);
+  EXPECT_EQ(out, "chr1\t999\t1019\treadA\t42\t+\n");
+}
+
+// ---------------------------------------------------------------- BEDGRAPH
+
+TEST(Bedgraph, MappedRecordLine) {
+  std::string out;
+  EXPECT_TRUE(append_bedgraph(mapped_record(), test_header(), out));
+  EXPECT_EQ(out, "chr1\t999\t1009\t42\n");
+}
+
+TEST(Bedgraph, ShorterThanBed) {
+  std::string bed;
+  std::string bdg;
+  append_bed(mapped_record(), test_header(), bed);
+  append_bedgraph(mapped_record(), test_header(), bdg);
+  EXPECT_LT(bdg.size(), bed.size());  // the paper's Fig 6 explanation
+}
+
+TEST(Bedgraph, SkipsUnmapped) {
+  std::string out;
+  EXPECT_FALSE(append_bedgraph(unmapped_record(), test_header(), out));
+}
+
+// ------------------------------------------------------------------- FASTA
+
+TEST(Fasta, ForwardRead) {
+  std::string out;
+  EXPECT_TRUE(append_fasta(mapped_record(), test_header(), out));
+  EXPECT_EQ(out, ">readA\nACGTACGTAC\n");
+}
+
+TEST(Fasta, ReverseReadIsComplemented) {
+  AlignmentRecord rec = mapped_record();
+  rec.flag |= sam::kReverse;
+  std::string out;
+  append_fasta(rec, test_header(), out);
+  EXPECT_EQ(out, ">readA\n" + sam::reverse_complement("ACGTACGTAC") + "\n");
+}
+
+TEST(Fasta, UnmappedStillEmitted) {
+  // FASTA/FASTQ extract the read itself; unmapped reads are wanted.
+  std::string out;
+  EXPECT_TRUE(append_fasta(unmapped_record(), test_header(), out));
+  EXPECT_EQ(out, ">lost\nACGT\n");
+}
+
+TEST(Fasta, SkipsSequencelessRecord) {
+  AlignmentRecord rec = mapped_record();
+  rec.seq.clear();
+  rec.qual.clear();
+  std::string out;
+  EXPECT_FALSE(append_fasta(rec, test_header(), out));
+}
+
+// ------------------------------------------------------------------- FASTQ
+
+TEST(Fastq, PairedReadGetsMateSuffix) {
+  std::string out;
+  EXPECT_TRUE(append_fastq(mapped_record(), test_header(), out));
+  EXPECT_EQ(out, "@readA/1\nACGTACGTAC\n+\nIIIIIIIIII\n");
+}
+
+TEST(Fastq, SecondOfPairSuffix) {
+  AlignmentRecord rec = mapped_record();
+  rec.flag = sam::kPaired | sam::kRead2;
+  std::string out;
+  append_fastq(rec, test_header(), out);
+  EXPECT_EQ(out.substr(0, 9), "@readA/2\n");
+}
+
+TEST(Fastq, UnpairedNoSuffix) {
+  AlignmentRecord rec = mapped_record();
+  rec.flag = 0;
+  std::string out;
+  append_fastq(rec, test_header(), out);
+  EXPECT_EQ(out.substr(0, 7), "@readA\n");
+}
+
+TEST(Fastq, ReverseStrandRestoresOrientation) {
+  AlignmentRecord rec = mapped_record();
+  rec.flag |= sam::kReverse;
+  rec.seq = "AACC";
+  rec.qual = "abcd";
+  std::string out;
+  append_fastq(rec, test_header(), out);
+  EXPECT_NE(out.find("GGTT\n"), std::string::npos);
+  EXPECT_NE(out.find("dcba\n"), std::string::npos);
+}
+
+TEST(Fastq, MissingQualsFilled) {
+  AlignmentRecord rec = mapped_record();
+  rec.qual.clear();
+  std::string out;
+  append_fastq(rec, test_header(), out);
+  EXPECT_NE(out.find("BBBBBBBBBB\n"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- JSON
+
+TEST(Json, ContainsAllCoreFields) {
+  AlignmentRecord rec = mapped_record();
+  rec.tags.push_back(sam::parse_aux("NM:i:3"));
+  rec.tags.push_back(sam::parse_aux("MD:Z:10"));
+  std::string out;
+  EXPECT_TRUE(append_json(rec, test_header(), out));
+  EXPECT_NE(out.find("\"qname\":\"readA\""), std::string::npos);
+  EXPECT_NE(out.find("\"rname\":\"chr1\""), std::string::npos);
+  EXPECT_NE(out.find("\"pos\":1000"), std::string::npos);  // 1-based
+  EXPECT_NE(out.find("\"cigar\":\"10M\""), std::string::npos);
+  EXPECT_NE(out.find("\"NM\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"MD\":\"10\""), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  AlignmentRecord rec = mapped_record();
+  rec.qname = "we\"ird\\name";
+  std::string out;
+  append_json(rec, test_header(), out);
+  EXPECT_NE(out.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(Json, UnmappedShowsStars) {
+  std::string out;
+  append_json(unmapped_record(), test_header(), out);
+  EXPECT_NE(out.find("\"rname\":\"*\""), std::string::npos);
+  EXPECT_NE(out.find("\"pos\":0"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- YAML
+
+TEST(Yaml, ListItemStructure) {
+  std::string out;
+  EXPECT_TRUE(append_yaml(mapped_record(), test_header(), out));
+  EXPECT_EQ(out.substr(0, 2), "- ");
+  EXPECT_NE(out.find("qname: \"readA\""), std::string::npos);
+  EXPECT_NE(out.find("\n  rname: \"chr1\""), std::string::npos);
+  EXPECT_NE(out.find("\n  pos: 1000"), std::string::npos);
+}
+
+TEST(Yaml, TagsNested) {
+  AlignmentRecord rec = mapped_record();
+  rec.tags.push_back(sam::parse_aux("NM:i:2"));
+  std::string out;
+  append_yaml(rec, test_header(), out);
+  EXPECT_NE(out.find("\n  tags:\n    NM: \"2\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ngsx::textfmt
