@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_bamx_layout.dir/ablate_bamx_layout.cpp.o"
+  "CMakeFiles/ablate_bamx_layout.dir/ablate_bamx_layout.cpp.o.d"
+  "ablate_bamx_layout"
+  "ablate_bamx_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bamx_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_bamxz_compression.dir/ablate_bamxz_compression.cpp.o"
+  "CMakeFiles/ablate_bamxz_compression.dir/ablate_bamxz_compression.cpp.o.d"
+  "ablate_bamxz_compression"
+  "ablate_bamxz_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bamxz_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_fdr_fusion.
+# This may be replaced when dependencies are built.

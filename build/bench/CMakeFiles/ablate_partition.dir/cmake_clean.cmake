@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_partition.dir/ablate_partition.cpp.o"
+  "CMakeFiles/ablate_partition.dir/ablate_partition.cpp.o.d"
+  "ablate_partition"
+  "ablate_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_preproc_speedup.dir/fig10_preproc_speedup.cpp.o"
+  "CMakeFiles/fig10_preproc_speedup.dir/fig10_preproc_speedup.cpp.o.d"
+  "fig10_preproc_speedup"
+  "fig10_preproc_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_preproc_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sam_converter_speedup.dir/fig6_sam_converter_speedup.cpp.o"
+  "CMakeFiles/fig6_sam_converter_speedup.dir/fig6_sam_converter_speedup.cpp.o.d"
+  "fig6_sam_converter_speedup"
+  "fig6_sam_converter_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sam_converter_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

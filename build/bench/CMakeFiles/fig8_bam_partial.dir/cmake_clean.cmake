@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bam_partial.dir/fig8_bam_partial.cpp.o"
+  "CMakeFiles/fig8_bam_partial.dir/fig8_bam_partial.cpp.o.d"
+  "fig8_bam_partial"
+  "fig8_bam_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bam_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

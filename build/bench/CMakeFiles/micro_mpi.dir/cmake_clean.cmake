@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mpi.dir/micro_mpi.cpp.o"
+  "CMakeFiles/micro_mpi.dir/micro_mpi.cpp.o.d"
+  "micro_mpi"
+  "micro_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sequential_vs_picard.dir/table1_sequential_vs_picard.cpp.o"
+  "CMakeFiles/table1_sequential_vs_picard.dir/table1_sequential_vs_picard.cpp.o.d"
+  "table1_sequential_vs_picard"
+  "table1_sequential_vs_picard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sequential_vs_picard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipseq_pipeline.dir/chipseq_pipeline.cpp.o"
+  "CMakeFiles/chipseq_pipeline.dir/chipseq_pipeline.cpp.o.d"
+  "chipseq_pipeline"
+  "chipseq_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipseq_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

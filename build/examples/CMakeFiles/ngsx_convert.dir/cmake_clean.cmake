@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_convert.dir/ngsx_convert.cpp.o"
+  "CMakeFiles/ngsx_convert.dir/ngsx_convert.cpp.o.d"
+  "ngsx_convert"
+  "ngsx_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

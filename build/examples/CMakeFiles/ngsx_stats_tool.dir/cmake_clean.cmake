@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_stats_tool.dir/ngsx_stats.cpp.o"
+  "CMakeFiles/ngsx_stats_tool.dir/ngsx_stats.cpp.o.d"
+  "ngsx_stats"
+  "ngsx_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_stats_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

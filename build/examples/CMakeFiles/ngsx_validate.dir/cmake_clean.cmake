@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_validate.dir/ngsx_validate.cpp.o"
+  "CMakeFiles/ngsx_validate.dir/ngsx_validate.cpp.o.d"
+  "ngsx_validate"
+  "ngsx_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_extract.dir/region_extract.cpp.o"
+  "CMakeFiles/region_extract.dir/region_extract.cpp.o.d"
+  "region_extract"
+  "region_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

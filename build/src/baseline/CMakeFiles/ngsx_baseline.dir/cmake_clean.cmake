@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_baseline.dir/picardlike.cpp.o"
+  "CMakeFiles/ngsx_baseline.dir/picardlike.cpp.o.d"
+  "libngsx_baseline.a"
+  "libngsx_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_cluster.dir/clustersim.cpp.o"
+  "CMakeFiles/ngsx_cluster.dir/clustersim.cpp.o.d"
+  "CMakeFiles/ngsx_cluster.dir/costmodel.cpp.o"
+  "CMakeFiles/ngsx_cluster.dir/costmodel.cpp.o.d"
+  "libngsx_cluster.a"
+  "libngsx_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convert.cpp" "src/core/CMakeFiles/ngsx_core.dir/convert.cpp.o" "gcc" "src/core/CMakeFiles/ngsx_core.dir/convert.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/ngsx_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/ngsx_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/sort.cpp" "src/core/CMakeFiles/ngsx_core.dir/sort.cpp.o" "gcc" "src/core/CMakeFiles/ngsx_core.dir/sort.cpp.o.d"
+  "/root/repo/src/core/target.cpp" "src/core/CMakeFiles/ngsx_core.dir/target.cpp.o" "gcc" "src/core/CMakeFiles/ngsx_core.dir/target.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/ngsx_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ngsx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngsx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_core.dir/convert.cpp.o"
+  "CMakeFiles/ngsx_core.dir/convert.cpp.o.d"
+  "CMakeFiles/ngsx_core.dir/partition.cpp.o"
+  "CMakeFiles/ngsx_core.dir/partition.cpp.o.d"
+  "CMakeFiles/ngsx_core.dir/sort.cpp.o"
+  "CMakeFiles/ngsx_core.dir/sort.cpp.o.d"
+  "CMakeFiles/ngsx_core.dir/target.cpp.o"
+  "CMakeFiles/ngsx_core.dir/target.cpp.o.d"
+  "libngsx_core.a"
+  "libngsx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/bai.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/bai.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/bai.cpp.o.d"
+  "/root/repo/src/formats/baix2.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/baix2.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/baix2.cpp.o.d"
+  "/root/repo/src/formats/bam.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/bam.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/bam.cpp.o.d"
+  "/root/repo/src/formats/bamx.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/bamx.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/bamx.cpp.o.d"
+  "/root/repo/src/formats/bamxz.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/bamxz.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/bamxz.cpp.o.d"
+  "/root/repo/src/formats/bed.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/bed.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/bed.cpp.o.d"
+  "/root/repo/src/formats/bgzf.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/bgzf.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/bgzf.cpp.o.d"
+  "/root/repo/src/formats/bgzf_parallel.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/bgzf_parallel.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/bgzf_parallel.cpp.o.d"
+  "/root/repo/src/formats/fai.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/fai.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/fai.cpp.o.d"
+  "/root/repo/src/formats/sam.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/sam.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/sam.cpp.o.d"
+  "/root/repo/src/formats/textfmt.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/textfmt.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/textfmt.cpp.o.d"
+  "/root/repo/src/formats/validate.cpp" "src/formats/CMakeFiles/ngsx_formats.dir/validate.cpp.o" "gcc" "src/formats/CMakeFiles/ngsx_formats.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ngsx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

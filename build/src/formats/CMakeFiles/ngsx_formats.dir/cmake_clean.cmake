@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_formats.dir/bai.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/bai.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/baix2.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/baix2.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/bam.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/bam.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/bamx.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/bamx.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/bamxz.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/bamxz.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/bed.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/bed.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/bgzf.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/bgzf.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/bgzf_parallel.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/bgzf_parallel.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/fai.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/fai.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/sam.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/sam.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/textfmt.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/textfmt.cpp.o.d"
+  "CMakeFiles/ngsx_formats.dir/validate.cpp.o"
+  "CMakeFiles/ngsx_formats.dir/validate.cpp.o.d"
+  "libngsx_formats.a"
+  "libngsx_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

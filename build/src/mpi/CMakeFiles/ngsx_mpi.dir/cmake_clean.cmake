@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_mpi.dir/minimpi.cpp.o"
+  "CMakeFiles/ngsx_mpi.dir/minimpi.cpp.o.d"
+  "libngsx_mpi.a"
+  "libngsx_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdata/histsim.cpp" "src/simdata/CMakeFiles/ngsx_simdata.dir/histsim.cpp.o" "gcc" "src/simdata/CMakeFiles/ngsx_simdata.dir/histsim.cpp.o.d"
+  "/root/repo/src/simdata/readsim.cpp" "src/simdata/CMakeFiles/ngsx_simdata.dir/readsim.cpp.o" "gcc" "src/simdata/CMakeFiles/ngsx_simdata.dir/readsim.cpp.o.d"
+  "/root/repo/src/simdata/reference.cpp" "src/simdata/CMakeFiles/ngsx_simdata.dir/reference.cpp.o" "gcc" "src/simdata/CMakeFiles/ngsx_simdata.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/ngsx_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngsx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_simdata.dir/histsim.cpp.o"
+  "CMakeFiles/ngsx_simdata.dir/histsim.cpp.o.d"
+  "CMakeFiles/ngsx_simdata.dir/readsim.cpp.o"
+  "CMakeFiles/ngsx_simdata.dir/readsim.cpp.o.d"
+  "CMakeFiles/ngsx_simdata.dir/reference.cpp.o"
+  "CMakeFiles/ngsx_simdata.dir/reference.cpp.o.d"
+  "libngsx_simdata.a"
+  "libngsx_simdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_simdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/fdr.cpp" "src/stats/CMakeFiles/ngsx_stats.dir/fdr.cpp.o" "gcc" "src/stats/CMakeFiles/ngsx_stats.dir/fdr.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/ngsx_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/ngsx_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/nlmeans.cpp" "src/stats/CMakeFiles/ngsx_stats.dir/nlmeans.cpp.o" "gcc" "src/stats/CMakeFiles/ngsx_stats.dir/nlmeans.cpp.o.d"
+  "/root/repo/src/stats/peaks.cpp" "src/stats/CMakeFiles/ngsx_stats.dir/peaks.cpp.o" "gcc" "src/stats/CMakeFiles/ngsx_stats.dir/peaks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ngsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ngsx_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ngsx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngsx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

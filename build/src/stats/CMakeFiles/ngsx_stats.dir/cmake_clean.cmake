@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_stats.dir/fdr.cpp.o"
+  "CMakeFiles/ngsx_stats.dir/fdr.cpp.o.d"
+  "CMakeFiles/ngsx_stats.dir/histogram.cpp.o"
+  "CMakeFiles/ngsx_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/ngsx_stats.dir/nlmeans.cpp.o"
+  "CMakeFiles/ngsx_stats.dir/nlmeans.cpp.o.d"
+  "CMakeFiles/ngsx_stats.dir/peaks.cpp.o"
+  "CMakeFiles/ngsx_stats.dir/peaks.cpp.o.d"
+  "libngsx_stats.a"
+  "libngsx_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

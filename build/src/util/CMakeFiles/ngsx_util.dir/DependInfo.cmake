@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/binio.cpp" "src/util/CMakeFiles/ngsx_util.dir/binio.cpp.o" "gcc" "src/util/CMakeFiles/ngsx_util.dir/binio.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/ngsx_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/ngsx_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/common.cpp" "src/util/CMakeFiles/ngsx_util.dir/common.cpp.o" "gcc" "src/util/CMakeFiles/ngsx_util.dir/common.cpp.o.d"
+  "/root/repo/src/util/strutil.cpp" "src/util/CMakeFiles/ngsx_util.dir/strutil.cpp.o" "gcc" "src/util/CMakeFiles/ngsx_util.dir/strutil.cpp.o.d"
+  "/root/repo/src/util/tempdir.cpp" "src/util/CMakeFiles/ngsx_util.dir/tempdir.cpp.o" "gcc" "src/util/CMakeFiles/ngsx_util.dir/tempdir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

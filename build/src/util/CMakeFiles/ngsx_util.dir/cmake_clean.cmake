@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngsx_util.dir/binio.cpp.o"
+  "CMakeFiles/ngsx_util.dir/binio.cpp.o.d"
+  "CMakeFiles/ngsx_util.dir/cli.cpp.o"
+  "CMakeFiles/ngsx_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ngsx_util.dir/common.cpp.o"
+  "CMakeFiles/ngsx_util.dir/common.cpp.o.d"
+  "CMakeFiles/ngsx_util.dir/strutil.cpp.o"
+  "CMakeFiles/ngsx_util.dir/strutil.cpp.o.d"
+  "CMakeFiles/ngsx_util.dir/tempdir.cpp.o"
+  "CMakeFiles/ngsx_util.dir/tempdir.cpp.o.d"
+  "libngsx_util.a"
+  "libngsx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngsx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libngsx_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bai_test.dir/bai_test.cpp.o"
+  "CMakeFiles/bai_test.dir/bai_test.cpp.o.d"
+  "bai_test"
+  "bai_test.pdb"
+  "bai_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

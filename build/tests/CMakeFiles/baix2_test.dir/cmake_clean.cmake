@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baix2_test.dir/baix2_test.cpp.o"
+  "CMakeFiles/baix2_test.dir/baix2_test.cpp.o.d"
+  "baix2_test"
+  "baix2_test.pdb"
+  "baix2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baix2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bam_test.dir/bam_test.cpp.o"
+  "CMakeFiles/bam_test.dir/bam_test.cpp.o.d"
+  "bam_test"
+  "bam_test.pdb"
+  "bam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

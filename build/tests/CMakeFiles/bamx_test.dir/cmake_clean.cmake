@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bamx_test.dir/bamx_test.cpp.o"
+  "CMakeFiles/bamx_test.dir/bamx_test.cpp.o.d"
+  "bamx_test"
+  "bamx_test.pdb"
+  "bamx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bamx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

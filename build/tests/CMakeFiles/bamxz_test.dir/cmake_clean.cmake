@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bamxz_test.dir/bamxz_test.cpp.o"
+  "CMakeFiles/bamxz_test.dir/bamxz_test.cpp.o.d"
+  "bamxz_test"
+  "bamxz_test.pdb"
+  "bamxz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bamxz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

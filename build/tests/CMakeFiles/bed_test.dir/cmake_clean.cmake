@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bed_test.dir/bed_test.cpp.o"
+  "CMakeFiles/bed_test.dir/bed_test.cpp.o.d"
+  "bed_test"
+  "bed_test.pdb"
+  "bed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

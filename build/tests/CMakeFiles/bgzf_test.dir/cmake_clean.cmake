@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgzf_test.dir/bgzf_test.cpp.o"
+  "CMakeFiles/bgzf_test.dir/bgzf_test.cpp.o.d"
+  "bgzf_test"
+  "bgzf_test.pdb"
+  "bgzf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgzf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_edge_test.dir/convert_edge_test.cpp.o"
+  "CMakeFiles/convert_edge_test.dir/convert_edge_test.cpp.o.d"
+  "convert_edge_test"
+  "convert_edge_test.pdb"
+  "convert_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

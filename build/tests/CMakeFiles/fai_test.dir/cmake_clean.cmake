@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fai_test.dir/fai_test.cpp.o"
+  "CMakeFiles/fai_test.dir/fai_test.cpp.o.d"
+  "fai_test"
+  "fai_test.pdb"
+  "fai_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peaks_test.dir/peaks_test.cpp.o"
+  "CMakeFiles/peaks_test.dir/peaks_test.cpp.o.d"
+  "peaks_test"
+  "peaks_test.pdb"
+  "peaks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peaks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

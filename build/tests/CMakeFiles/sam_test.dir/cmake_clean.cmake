@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sam_test.dir/sam_test.cpp.o"
+  "CMakeFiles/sam_test.dir/sam_test.cpp.o.d"
+  "sam_test"
+  "sam_test.pdb"
+  "sam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

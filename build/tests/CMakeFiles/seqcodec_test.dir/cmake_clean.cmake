@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqcodec_test.dir/seqcodec_test.cpp.o"
+  "CMakeFiles/seqcodec_test.dir/seqcodec_test.cpp.o.d"
+  "seqcodec_test"
+  "seqcodec_test.pdb"
+  "seqcodec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqcodec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sort_test.cpp" "tests/CMakeFiles/sort_test.dir/sort_test.cpp.o" "gcc" "tests/CMakeFiles/sort_test.dir/sort_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ngsx_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ngsx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ngsx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ngsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/ngsx_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ngsx_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ngsx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ngsx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textfmt_test.dir/textfmt_test.cpp.o"
+  "CMakeFiles/textfmt_test.dir/textfmt_test.cpp.o.d"
+  "textfmt_test"
+  "textfmt_test.pdb"
+  "textfmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textfmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/sam_test[1]_include.cmake")
+include("/root/repo/build/tests/bgzf_test[1]_include.cmake")
+include("/root/repo/build/tests/bam_test[1]_include.cmake")
+include("/root/repo/build/tests/bai_test[1]_include.cmake")
+include("/root/repo/build/tests/bamx_test[1]_include.cmake")
+include("/root/repo/build/tests/textfmt_test[1]_include.cmake")
+include("/root/repo/build/tests/simdata_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/convert_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_property_test[1]_include.cmake")
+include("/root/repo/build/tests/bamxz_test[1]_include.cmake")
+include("/root/repo/build/tests/baix2_test[1]_include.cmake")
+include("/root/repo/build/tests/peaks_test[1]_include.cmake")
+include("/root/repo/build/tests/sort_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/corruption_test[1]_include.cmake")
+include("/root/repo/build/tests/fai_test[1]_include.cmake")
+include("/root/repo/build/tests/convert_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/bed_test[1]_include.cmake")
+include("/root/repo/build/tests/bgzf_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/seqcodec_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_integration_test[1]_include.cmake")

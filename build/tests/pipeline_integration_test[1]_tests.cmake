@@ -1,0 +1,3 @@
+add_test([=[PipelineIntegration.EndToEnd]=]  /root/repo/build/tests/pipeline_integration_test [==[--gtest_filter=PipelineIntegration.EndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelineIntegration.EndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 300)
+set(  pipeline_integration_test_TESTS PipelineIntegration.EndToEnd)
