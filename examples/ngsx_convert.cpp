@@ -19,6 +19,7 @@
 #include <filesystem>
 
 #include "core/convert.h"
+#include "exec/pool.h"
 #include "util/cli.h"
 #include "util/strutil.h"
 
@@ -30,10 +31,20 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --in FILE.{sam,bam} --to FORMAT --out DIR\n"
                "          [--ranks N] [--region chr:beg-end]\n"
+               "          [--schedule static|dynamic] [--threads T]\n"
                "          [--preprocess [--m M]] [--no-header]\n"
-               "FORMAT: sam bam bed bedgraph fasta fastq json yaml\n",
+               "FORMAT: sam bam bed bedgraph fasta fastq json yaml\n"
+               "--ranks 0 / --threads 0 auto-detect the hardware width\n",
                prog);
   return 2;
+}
+
+/// Resolves a width flag: 0 means auto-detect, negative is an error.
+int resolve_width(const char* flag, int64_t value, int auto_value) {
+  if (value < 0) {
+    throw UsageError(std::string("--") + flag + " must be >= 0 (0 = auto)");
+  }
+  return value == 0 ? auto_value : static_cast<int>(value);
 }
 
 }  // namespace
@@ -50,7 +61,15 @@ int main(int argc, char** argv) {
   try {
     core::ConvertOptions options;
     options.format = core::parse_target_format(to);
-    options.ranks = static_cast<int>(args.get_int("ranks", 4));
+    const int auto_width = exec::hardware_threads();
+    options.ranks = resolve_width("ranks", args.get_int("ranks", 4),
+                                  auto_width);
+    options.schedule = core::parse_schedule(args.get("schedule", "static"));
+    if (args.has("threads")) {
+      // Absent: options.threads stays 0, meaning "pool width = ranks".
+      options.threads = resolve_width("threads", args.get_int("threads", 0),
+                                      auto_width);
+    }
     options.include_header = !args.get_bool("no-header", false);
     const std::string region_text = args.get("region", "");
 
@@ -77,7 +96,8 @@ int main(int argc, char** argv) {
                              " BAM input for partial conversion\n");
         return 2;
       }
-      const int m = static_cast<int>(args.get_int("m", options.ranks));
+      const int m =
+          resolve_width("m", args.get_int("m", options.ranks), auto_width);
       auto pre = core::preprocess_sam_parallel(in, out + "/shards", m);
       std::fprintf(stderr, "preprocessed %llu records (%d shards) in %.2f s\n",
                    static_cast<unsigned long long>(pre.records), m,

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <functional>
 
 #include "core/partition.h"
+#include "exec/pipeline.h"
+#include "exec/pool.h"
 #include "formats/bam.h"
 #include "mpi/minimpi.h"
 #include "util/strutil.h"
@@ -15,6 +18,23 @@ namespace ngsx::core {
 
 using sam::AlignmentRecord;
 using sam::SamHeader;
+
+// --------------------------------------------------------------- schedule
+
+Schedule parse_schedule(std::string_view name) {
+  if (name == "static") {
+    return Schedule::kStatic;
+  }
+  if (name == "dynamic") {
+    return Schedule::kDynamic;
+  }
+  throw UsageError("unknown schedule '" + std::string(name) +
+                   "' (expected static or dynamic)");
+}
+
+std::string_view schedule_name(Schedule schedule) {
+  return schedule == Schedule::kStatic ? "static" : "dynamic";
+}
 
 // ------------------------------------------------------------------- region
 
@@ -134,6 +154,124 @@ ConvertStats merge_stats(const std::vector<LocalStats>& locals) {
   return stats;
 }
 
+// ------------------------------------------------- dynamic scheduling core
+
+/// One unit of dynamically-scheduled work: a slice of part `part`'s input,
+/// as a byte range (SAM) or record/entry index range (BAMX/BAIX).
+struct Chunk {
+  int part = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// What the parallel parse stage hands to the ordered commit stage.
+struct ChunkResult {
+  std::vector<AlignmentRecord> records;
+  uint64_t bytes_in = 0;
+};
+
+/// Runs `chunks` (listed in global record order, grouped by part) through
+/// an exec::Pool ordered pipeline: `parse` runs on the pool with dynamic
+/// chunk claiming, the commit stage feeds each part's records — strictly
+/// in chunk order — into that part's TargetWriter. Because the part record
+/// ranges equal the static schedule's, the part files come out
+/// byte-identical to static mode; only the execution schedule differs.
+ConvertStats run_dynamic_chunks(
+    const std::vector<Chunk>& chunks, int n_parts,
+    const std::string& out_dir, const ConvertOptions& options,
+    const SamHeader& header,
+    const std::function<ChunkResult(const Chunk&)>& parse) {
+  const int pool_threads =
+      options.threads > 0 ? options.threads : options.ranks;
+  exec::Pool pool(pool_threads);
+
+  std::vector<LocalStats> locals(static_cast<size_t>(n_parts));
+  std::vector<std::string> outputs(static_cast<size_t>(n_parts));
+  std::vector<bool> opened(static_cast<size_t>(n_parts), false);
+
+  int current_part = -1;
+  std::unique_ptr<TargetWriter> writer;
+  auto open_part = [&](int part) {
+    const std::string out_path = part_path(out_dir, part, options.format);
+    outputs[static_cast<size_t>(part)] = out_path;
+    opened[static_cast<size_t>(part)] = true;
+    return make_target_writer(options.format, out_path, header,
+                              options.include_header);
+  };
+  auto close_part = [&] {
+    if (writer != nullptr) {
+      writer->close();
+      locals[static_cast<size_t>(current_part)].bytes_out =
+          writer->bytes_written();
+      writer.reset();
+    }
+  };
+
+  size_t cursor = 0;
+  exec::PipelineOptions popt;
+  popt.workers = pool_threads;
+
+  exec::ordered_pipeline<Chunk, ChunkResult>(
+      pool,
+      [&](Chunk& chunk) {
+        if (cursor >= chunks.size()) {
+          return false;
+        }
+        chunk = chunks[cursor++];
+        return true;
+      },
+      [&](Chunk&& chunk, uint64_t) { return parse(chunk); },
+      [&](ChunkResult&& result, uint64_t ticket) {
+        // Tickets are issued in source order, so ticket == chunk index.
+        const Chunk& chunk = chunks[static_cast<size_t>(ticket)];
+        if (chunk.part != current_part) {
+          close_part();
+          current_part = chunk.part;
+          writer = open_part(chunk.part);
+        }
+        LocalStats& local = locals[static_cast<size_t>(chunk.part)];
+        local.bytes_in += result.bytes_in;
+        for (const AlignmentRecord& rec : result.records) {
+          ++local.records_in;
+          if (writer->write(rec)) {
+            ++local.records_out;
+          }
+        }
+      },
+      popt);
+  close_part();
+
+  // Parts whose range held no chunks still get their (possibly
+  // header-only) part file, exactly as a static rank would produce.
+  for (int p = 0; p < n_parts; ++p) {
+    if (!opened[static_cast<size_t>(p)]) {
+      auto empty_writer = open_part(p);
+      empty_writer->close();
+      locals[static_cast<size_t>(p)].bytes_out =
+          empty_writer->bytes_written();
+    }
+  }
+
+  ConvertStats stats = merge_stats(locals);
+  stats.outputs = std::move(outputs);
+  return stats;
+}
+
+/// Splits each part's record-index range into batches of `batch` records.
+std::vector<Chunk> record_chunks(
+    const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
+    uint64_t batch) {
+  std::vector<Chunk> chunks;
+  for (size_t p = 0; p < ranges.size(); ++p) {
+    auto [begin, end] = ranges[p];
+    for (uint64_t at = begin; at < end; at += batch) {
+      chunks.push_back(Chunk{static_cast<int>(p), at,
+                             std::min<uint64_t>(end, at + batch)});
+    }
+  }
+  return chunks;
+}
+
 }  // namespace
 
 // ------------------------------------------------------- 1. SAM converter
@@ -146,6 +284,49 @@ ConvertStats convert_sam(const std::string& sam_path,
   auto [header, body_offset] = read_sam_header(sam_path);
   const uint64_t file_size = ngsx::file_size(sam_path);
   const ByteRange body{body_offset, file_size};
+
+  if (options.schedule == Schedule::kDynamic) {
+    // Dynamic schedule: same part ranges as the static schedule (so part
+    // files are byte-identical), but each part is subdivided into
+    // Algorithm-1 byte chunks claimed dynamically from the pool.
+    WallTimer timer;
+    InputFile file(sam_path);
+    auto ranges = partition_sam_forward(file, body, options.ranks);
+    std::vector<Chunk> chunks;
+    for (size_t p = 0; p < ranges.size(); ++p) {
+      const ByteRange range = ranges[p];
+      if (range.size() == 0) {
+        continue;
+      }
+      const uint64_t target = std::max<uint64_t>(options.chunk_bytes, 1);
+      const int k = static_cast<int>(
+          std::clamp<uint64_t>(range.size() / target, 1, 1 << 14));
+      for (const ByteRange& sub : partition_sam_forward(file, range, k)) {
+        if (sub.size() != 0) {
+          chunks.push_back(Chunk{static_cast<int>(p), sub.begin, sub.end});
+        }
+      }
+    }
+    ConvertStats stats = run_dynamic_chunks(
+        chunks, options.ranks, out_dir, options, header,
+        [&](const Chunk& chunk) {
+          ChunkResult out;
+          out.bytes_in = chunk.end - chunk.begin;
+          LineRangeReader lines(file, ByteRange{chunk.begin, chunk.end},
+                                options.read_buffer_bytes);
+          std::string_view line;
+          while (lines.next(line)) {
+            if (line.empty() || line[0] == '@') {
+              continue;
+            }
+            out.records.emplace_back();
+            sam::parse_record(line, header, out.records.back());
+          }
+          return out;
+        });
+    stats.seconds = timer.seconds();
+    return stats;
+  }
 
   std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
   std::vector<std::string> outputs(static_cast<size_t>(options.ranks));
@@ -260,6 +441,44 @@ ConvertStats convert_bamx(const std::string& bamx_path,
         baix.query(region->ref_id, region->begin, region->end);
   }
 
+  if (options.schedule == Schedule::kDynamic) {
+    // Dynamic schedule: the static record ranges are subdivided into
+    // record batches dispatched through the pool; `probe` is shared by the
+    // parse workers (its reads are positioned and const).
+    WallTimer timer;
+    std::vector<Chunk> chunks;
+    std::function<ChunkResult(const Chunk&)> parse;
+    if (!region.has_value()) {
+      chunks = record_chunks(split_records(n_records, options.ranks),
+                             options.record_batch);
+      parse = [&](const Chunk& chunk) {
+        ChunkResult out;
+        probe.read_range(chunk.begin, chunk.end, out.records);
+        out.bytes_in = (chunk.end - chunk.begin) * stride;
+        return out;
+      };
+    } else {
+      chunks = record_chunks(
+          split_records(region_last - region_first, options.ranks),
+          options.record_batch);
+      parse = [&](const Chunk& chunk) {
+        ChunkResult out;
+        out.bytes_in = (chunk.end - chunk.begin) * stride;
+        for (uint64_t e = chunk.begin; e < chunk.end; ++e) {
+          const bamx::BaixEntry& entry =
+              baix.entry(region_first + static_cast<size_t>(e));
+          out.records.emplace_back();
+          probe.read(entry.record_index, out.records.back());
+        }
+        return out;
+      };
+    }
+    ConvertStats stats = run_dynamic_chunks(chunks, options.ranks, out_dir,
+                                            options, header, parse);
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+
   std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
   std::vector<std::string> outputs(static_cast<size_t>(options.ranks));
 
@@ -345,6 +564,25 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
   baix2::Baix2Index index = baix2::Baix2Index::load(baix2_path);
   std::vector<uint64_t> matches =
       index.query(region.ref_id, region.begin, region.end, mode, filter);
+
+  if (options.schedule == Schedule::kDynamic) {
+    WallTimer timer;
+    std::vector<Chunk> chunks = record_chunks(
+        split_records(matches.size(), options.ranks), options.record_batch);
+    ConvertStats stats = run_dynamic_chunks(
+        chunks, options.ranks, out_dir, options, header,
+        [&](const Chunk& chunk) {
+          ChunkResult out;
+          out.bytes_in = (chunk.end - chunk.begin) * stride;
+          for (uint64_t k = chunk.begin; k < chunk.end; ++k) {
+            out.records.emplace_back();
+            probe.read(matches[static_cast<size_t>(k)], out.records.back());
+          }
+          return out;
+        });
+    stats.seconds = timer.seconds();
+    return stats;
+  }
 
   std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
   std::vector<std::string> outputs(static_cast<size_t>(options.ranks));

@@ -1,0 +1,129 @@
+// ngsx/exec/channel.h
+//
+// Bounded multi-producer multi-consumer channel with close semantics —
+// the backpressure primitive of the execution engine (Go-channel shaped).
+//
+//   Channel<Block> ch(64);
+//   producer:  if (!ch.push(std::move(b))) { /* channel closed */ }
+//   consumer:  while (auto b = ch.pop()) { use(*b); }   // nullopt: drained
+//   shutdown:  ch.close();  // producers unblock, consumers drain the rest
+//
+// push() blocks while the channel is full (bounding producer memory —
+// this is what caps in-flight BGZF blocks and pipeline chunks), pop()
+// blocks while it is empty. After close(), push() fails fast and pop()
+// keeps delivering until the queue is drained, then reports end-of-stream.
+// try_push()/try_pop() are the non-blocking variants.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/common.h"
+
+namespace ngsx::exec {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(size_t capacity) : capacity_(capacity) {
+    NGSX_CHECK_MSG(capacity >= 1, "channel capacity must be >= 1");
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while full. Returns false (dropping `v`) if the channel is or
+  /// becomes closed before space is available.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false if full or closed (the value is kept by the
+  /// caller: `v` is only moved from on success).
+  bool try_push(T& v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once the channel is closed *and*
+  /// drained (consumers always see every pushed item).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    std::optional<T> v(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking pop; nullopt if currently empty.
+  std::optional<T> try_pop() {
+    std::optional<T> v;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      v.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Idempotent. Wakes all blocked producers (push fails) and consumers
+  /// (pop drains, then ends).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ngsx::exec

@@ -1,0 +1,138 @@
+// ngsx/exec/deque.h
+//
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05, with the memory
+// ordering of Lê et al., PPoPP'13). One owner thread pushes and pops at the
+// bottom in LIFO order (cache-hot task execution); any number of thief
+// threads steal from the top in FIFO order (oldest — usually largest —
+// tasks migrate first). The element type must be trivially copyable; the
+// pool stores raw task pointers.
+//
+// The backing ring buffer grows geometrically and retired buffers are kept
+// on a garbage list until destruction: a thief may still be reading a slot
+// of an old buffer after the owner has grown, and the top CAS — not the
+// buffer lifetime — decides whether that read is used. Slots are
+// std::atomic so owner/thief accesses to the same slot are never data races
+// (this also keeps the structure clean under ThreadSanitizer, which the
+// stress suite runs in CI).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ngsx::exec {
+
+template <typename T>
+class StealDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit StealDeque(int64_t capacity = 64)
+      : array_(new Ring(capacity)) {}
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  ~StealDeque() { delete array_.load(std::memory_order_relaxed); }
+
+  /// Owner only: pushes `v` at the bottom.
+  void push(T v) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= a->capacity) {
+      a = grow(a, t, b);
+    }
+    a->put(b, v);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pops the most recently pushed element.
+  bool pop(T& out) {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Deque was empty; restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = a->get(b);
+    if (t == b) {
+      // Last element: race the thieves for it via the top counter.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;  // a thief got it first
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Any thread: steals the oldest element. Returns false when the deque is
+  /// empty or the steal lost a race (callers treat both as "try elsewhere").
+  bool steal(T& out) {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) {
+      return false;
+    }
+    Ring* a = array_.load(std::memory_order_acquire);
+    T v = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    out = v;
+    return true;
+  }
+
+  /// Approximate size; exact only when quiescent.
+  int64_t size_estimate() const {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(int64_t n)
+        : capacity(n), mask(n - 1),
+          slots(std::make_unique<std::atomic<T>[]>(static_cast<size_t>(n))) {}
+
+    T get(int64_t i) const {
+      return slots[static_cast<size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+    void put(int64_t i, T v) {
+      slots[static_cast<size_t>(i & mask)].store(v,
+                                                 std::memory_order_relaxed);
+    }
+
+    const int64_t capacity;  // power of two
+    const int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  Ring* grow(Ring* old, int64_t t, int64_t b) {
+    Ring* bigger = new Ring(old->capacity * 2);
+    for (int64_t i = t; i < b; ++i) {
+      bigger->put(i, old->get(i));
+    }
+    // Old buffer stays alive on the garbage list: thieves may hold it.
+    garbage_.emplace_back(old);
+    array_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Ring*> array_;
+  std::vector<std::unique_ptr<Ring>> garbage_;  // owner-only
+};
+
+}  // namespace ngsx::exec

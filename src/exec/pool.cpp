@@ -1,0 +1,228 @@
+#include "exec/pool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+namespace ngsx::exec {
+
+namespace {
+
+// Worker identity of the calling thread: which pool (if any) and which
+// index within it. Used to route spawns to the local deque and to let
+// TaskGroup::wait() help-execute instead of blocking a worker.
+thread_local Pool* tl_pool = nullptr;
+thread_local int tl_index = -1;
+
+// How long an idle worker parks before re-scanning. Wakeups are normally
+// explicit (wake_cv_), but owner-deque pushes signal without the injector
+// lock, so a notification can be missed; the timeout bounds that window.
+constexpr auto kParkInterval = std::chrono::microseconds(200);
+
+}  // namespace
+
+int hardware_threads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+// ----------------------------------------------------------------- Pool
+
+Pool::Pool(int threads) : n_threads_(threads) {
+  NGSX_CHECK_MSG(threads >= 1, "pool needs at least one worker");
+  deques_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<StealDeque<Task*>>());
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Pool::~Pool() {
+  stop_.store(true, std::memory_order_seq_cst);
+  wake_cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  // Graceful shutdown drains everything; nothing should remain.
+  NGSX_CHECK_MSG(pending_.load() == 0, "pool destroyed with tasks pending");
+}
+
+int Pool::current_worker_index() { return tl_index; }
+
+bool Pool::on_worker_thread() const { return tl_pool == this; }
+
+void Pool::submit(std::function<void()> fn) {
+  submit_task(new Task{std::move(fn), nullptr});
+}
+
+void Pool::submit_task(Task* task) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (tl_pool == this) {
+    // Spawned from a worker: LIFO push onto its own deque; thieves take
+    // the oldest end. Signal outside the lock — a missed wakeup is
+    // recovered by the parked workers' timeout.
+    deques_[static_cast<size_t>(tl_index)]->push(task);
+    wake_cv_.notify_one();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inj_mu_);
+    injector_.push_back(task);
+  }
+  wake_cv_.notify_one();
+}
+
+Pool::Task* Pool::find_task() {
+  Task* task = nullptr;
+  // 1. Own deque (only when called on a worker thread).
+  if (tl_pool == this &&
+      deques_[static_cast<size_t>(tl_index)]->pop(task)) {
+    return task;
+  }
+  // 2. Global injector.
+  {
+    std::lock_guard<std::mutex> lock(inj_mu_);
+    if (!injector_.empty()) {
+      task = injector_.front();
+      injector_.pop_front();
+      return task;
+    }
+  }
+  // 3. Steal: one randomized sweep over the other workers' deques.
+  thread_local std::minstd_rand rng(static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  const int n = size();
+  const int self = tl_pool == this ? tl_index : -1;
+  const int start = static_cast<int>(rng() % static_cast<unsigned>(n));
+  for (int k = 0; k < n; ++k) {
+    int victim = (start + k) % n;
+    if (victim == self) {
+      continue;
+    }
+    if (deques_[static_cast<size_t>(victim)]->steal(task)) {
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+bool Pool::try_run_one() {
+  Task* task = find_task();
+  if (task == nullptr) {
+    return false;
+  }
+  run_task(task);
+  return true;
+}
+
+void Pool::run_task(Task* task) {
+  if (task->group != nullptr) {
+    try {
+      task->fn();
+    } catch (...) {
+      task->group->record_error(std::current_exception());
+    }
+    task->group->task_done();
+  } else {
+    try {
+      task->fn();
+    } catch (...) {
+      // No submitter to propagate to; mirror std::thread semantics.
+      std::fprintf(stderr,
+                   "ngsx::exec: unhandled exception in detached task\n");
+      std::terminate();
+    }
+  }
+  delete task;
+  pending_.fetch_sub(1, std::memory_order_release);
+}
+
+void Pool::worker_main(int index) {
+  tl_pool = this;
+  tl_index = index;
+  while (true) {
+    if (try_run_one()) {
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::unique_lock<std::mutex> lock(inj_mu_);
+    if (!injector_.empty()) {
+      continue;  // raced with a submit; rescan
+    }
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    wake_cv_.wait_for(lock, kParkInterval);
+  }
+}
+
+// ------------------------------------------------------------ TaskGroup
+
+TaskGroup::~TaskGroup() {
+  // Spawned tasks capture `this`; they must finish before we go away.
+  // wait() was normally already called; errors surface there, not here.
+  if (outstanding_.load(std::memory_order_acquire) != 0) {
+    try {
+      wait();
+    } catch (...) {
+      // Destructor must not throw; wait() callers get the error instead.
+    }
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> fn) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  pool_.submit_task(new Pool::Task{std::move(fn), this});
+}
+
+void TaskGroup::task_done() {
+  // Decrement and notify under the lock: a waiter that observes zero must
+  // not be able to return (and destroy this group) before the notify has
+  // happened — wait()'s trailing mu_ acquisition orders it after us.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    cv_.notify_all();
+  }
+}
+
+void TaskGroup::record_error(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_) {
+    error_ = std::move(error);
+  }
+}
+
+void TaskGroup::wait() {
+  if (pool_.on_worker_thread()) {
+    // Help-first: run queued tasks (any task, not just ours) while our
+    // spawns are in flight, so nested groups never starve the pool.
+    while (outstanding_.load(std::memory_order_acquire) != 0) {
+      if (!pool_.try_run_one()) {
+        std::this_thread::yield();
+      }
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ngsx::exec

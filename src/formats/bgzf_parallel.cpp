@@ -5,22 +5,41 @@
 namespace ngsx::bgzf {
 
 namespace {
+
 // Producer backpressure: cap in-flight blocks so a fast producer cannot
-// balloon memory while workers lag.
+// balloon memory while compression workers lag.
 constexpr size_t kMaxInFlight = 64;
+
+exec::PipelineOptions pipeline_options(int threads) {
+  exec::PipelineOptions opt;
+  opt.workers = threads;
+  opt.window = kMaxInFlight;
+  opt.capacity = kMaxInFlight;
+  return opt;
+}
+
+int checked_threads(int threads) {
+  NGSX_CHECK_MSG(threads >= 1, "need at least one compression worker");
+  return threads;
+}
+
 }  // namespace
 
 ParallelWriter::ParallelWriter(const std::string& path, int threads,
                                int level)
     : path_(path), level_(level),
-      out_(std::make_unique<OutputFile>(path)) {
-  NGSX_CHECK_MSG(threads >= 1, "need at least one compression worker");
+      out_(std::make_unique<OutputFile>(path)),
+      pool_(checked_threads(threads)),
+      pipeline_(
+          pool_,
+          [level](std::string&& raw) {
+            std::string block;
+            compress_block(raw, block, level);
+            return block;
+          },
+          [this](std::string&& block) { out_->write(block); },
+          pipeline_options(threads)) {
   pending_.reserve(kMaxBlockInput);
-  workers_.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-  writer_ = std::thread([this] { writer_loop(); });
 }
 
 ParallelWriter::~ParallelWriter() {
@@ -51,93 +70,10 @@ void ParallelWriter::flush_block() {
 }
 
 void ParallelWriter::submit_pending() {
-  std::unique_lock<std::mutex> lock(mu_);
-  space_cv_.wait(lock, [this] {
-    return jobs_.size() + completed_.size() < kMaxInFlight ||
-           error_ != nullptr;
-  });
-  if (error_ != nullptr) {
-    std::exception_ptr error = error_;
-    lock.unlock();
-    closed_ = true;  // pipeline is dead; further writes are invalid anyway
-    std::rethrow_exception(error);
-  }
-  jobs_.push_back(Job{next_seq_++, std::move(pending_)});
+  std::string raw = std::move(pending_);
   pending_.clear();
   pending_.reserve(kMaxBlockInput);
-  job_cv_.notify_one();
-}
-
-void ParallelWriter::worker_loop() {
-  while (true) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [this] {
-        return !jobs_.empty() || shutting_down_ || error_ != nullptr;
-      });
-      if (error_ != nullptr || (jobs_.empty() && shutting_down_)) {
-        return;
-      }
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
-    }
-    std::string block;
-    try {
-      compress_block(job.raw, block, level_);
-    } catch (...) {
-      record_error();
-      return;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      completed_.emplace(job.seq, std::move(block));
-    }
-    done_cv_.notify_all();
-  }
-}
-
-void ParallelWriter::writer_loop() {
-  while (true) {
-    std::string block;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [this] {
-        return completed_.count(write_seq_) != 0 || error_ != nullptr ||
-               (shutting_down_ && jobs_.empty() &&
-                write_seq_ == next_seq_);
-      });
-      if (error_ != nullptr) {
-        return;
-      }
-      auto it = completed_.find(write_seq_);
-      if (it == completed_.end()) {
-        return;  // drained: every submitted block has been written
-      }
-      block = std::move(it->second);
-      completed_.erase(it);
-      ++write_seq_;
-    }
-    space_cv_.notify_all();
-    try {
-      out_->write(block);
-    } catch (...) {
-      record_error();
-      return;
-    }
-  }
-}
-
-void ParallelWriter::record_error() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!error_) {
-      error_ = std::current_exception();
-    }
-  }
-  job_cv_.notify_all();
-  done_cv_.notify_all();
-  space_cv_.notify_all();
+  pipeline_.push(std::move(raw));  // blocks on backpressure; rethrows errors
 }
 
 void ParallelWriter::close() {
@@ -145,33 +81,10 @@ void ParallelWriter::close() {
     return;
   }
   closed_ = true;
-  // Submit the final partial block, then drain.
   if (!pending_.empty()) {
-    std::unique_lock<std::mutex> lock(mu_);
-    jobs_.push_back(Job{next_seq_++, std::move(pending_)});
-    pending_.clear();
-    job_cv_.notify_one();
+    submit_pending();
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutting_down_ = true;
-  }
-  job_cv_.notify_all();
-  done_cv_.notify_all();
-  for (auto& worker : workers_) {
-    worker.join();
-  }
-  // Workers are done; wake the writer so its drain predicate resolves.
-  done_cv_.notify_all();
-  writer_.join();
-  std::exception_ptr error;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    error = error_;
-  }
-  if (error) {
-    std::rethrow_exception(error);
-  }
+  pipeline_.finish();  // drain; rethrows the first compression/write error
   out_->write(eof_marker());
   out_->close();
 }

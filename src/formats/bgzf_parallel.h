@@ -3,11 +3,12 @@
 // Multi-threaded BGZF writer, htslib's `--threads` idea: BGZF blocks are
 // independent gzip members, so compression — the dominant CPU cost of
 // writing BAM — parallelizes perfectly. Input is cut into the same
-// fixed-size blocks as the sequential bgzf::Writer and handed to a worker
-// pool; a dedicated writer thread commits compressed blocks strictly in
-// sequence order, so the output file is byte-identical to the sequential
+// fixed-size blocks as the sequential bgzf::Writer and fed through an
+// exec::Pipeline (bounded input channel -> pool-parallel compression ->
+// ordered sink), so the output file is byte-identical to the sequential
 // writer's (deflate is deterministic at a fixed level), just produced
-// with more cores.
+// with more cores. The pipeline's bounded channel provides the producer
+// backpressure; the ordered sink restores file order via sequence tickets.
 //
 // tell() / virtual offsets are intentionally absent: compressed offsets
 // only materialize after compression, and the bulk-output paths this
@@ -16,17 +17,12 @@
 
 #pragma once
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
-#include <thread>
-#include <vector>
 
+#include "exec/pipeline.h"
+#include "exec/pool.h"
 #include "util/binio.h"
 #include "util/common.h"
 
@@ -34,7 +30,8 @@ namespace ngsx::bgzf {
 
 class ParallelWriter {
  public:
-  /// `threads` compression workers (>= 1) plus one internal writer thread.
+  /// `threads` compression workers (>= 1); blocks are committed to the
+  /// file in order by the pipeline's internal driver thread.
   ParallelWriter(const std::string& path, int threads, int level = 6);
   ~ParallelWriter();
 
@@ -54,36 +51,17 @@ class ParallelWriter {
   void close();
 
  private:
-  struct Job {
-    uint64_t seq = 0;
-    std::string raw;
-  };
-
   void submit_pending();
-  void worker_loop();
-  void writer_loop();
-  void record_error();
 
   std::string path_;
   int level_;
   std::unique_ptr<OutputFile> out_;
 
   std::string pending_;
-  uint64_t next_seq_ = 0;       // next block sequence number to submit
-
-  std::mutex mu_;
-  std::condition_variable job_cv_;      // workers wait here
-  std::condition_variable done_cv_;     // writer waits here
-  std::condition_variable space_cv_;    // producer backpressure
-  std::deque<Job> jobs_;
-  std::map<uint64_t, std::string> completed_;  // seq -> compressed block
-  uint64_t write_seq_ = 0;      // next block the writer thread commits
-  bool shutting_down_ = false;
-  std::exception_ptr error_;
-
-  std::vector<std::thread> workers_;
-  std::thread writer_;
   bool closed_ = false;
+
+  exec::Pool pool_;
+  exec::Pipeline<std::string, std::string> pipeline_;
 };
 
 }  // namespace ngsx::bgzf

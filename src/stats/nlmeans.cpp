@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "core/partition.h"
+#include "exec/pool.h"
 #include "mpi/minimpi.h"
 #include "util/common.h"
 
@@ -177,6 +178,23 @@ std::vector<double> nlmeans_parallel_omp(std::span<const double> data,
     nlmeans_range(data, lo, hi, params,
                   std::span<double>(out.data() + lo, hi - lo));
   }
+  return out;
+}
+
+std::vector<double> nlmeans_parallel_pool(std::span<const double> data,
+                                          const NlMeansParams& params,
+                                          int threads, size_t tile) {
+  NGSX_CHECK_MSG(threads >= 1, "threads must be >= 1");
+  std::vector<double> out(data.size());
+  if (data.empty()) {
+    return out;
+  }
+  exec::Pool pool(threads);
+  exec::parallel_for(
+      pool, 0, data.size(), tile, [&](uint64_t lo, uint64_t hi) {
+        nlmeans_range(data, lo, hi, params,
+                      std::span<double>(out.data() + lo, hi - lo));
+      });
   return out;
 }
 

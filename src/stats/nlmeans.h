@@ -55,4 +55,13 @@ std::vector<double> nlmeans_parallel_omp(std::span<const double> data,
                                          const NlMeansParams& params,
                                          int threads);
 
+/// Shared-memory variant on the exec work-stealing pool: the histogram is
+/// cut into `tile`-bin tiles claimed dynamically (exec::parallel_for), so
+/// unevenly expensive regions rebalance instead of pinning one thread —
+/// unlike the static one-partition-per-thread OpenMP path. `tile == 0`
+/// picks ~8 tiles per worker. Bit-identical to the sequential result.
+std::vector<double> nlmeans_parallel_pool(std::span<const double> data,
+                                          const NlMeansParams& params,
+                                          int threads, size_t tile = 0);
+
 }  // namespace ngsx::stats
