@@ -32,9 +32,12 @@ int usage(const char* prog) {
                "usage: %s --in FILE.{sam,bam} --to FORMAT --out DIR\n"
                "          [--ranks N] [--region chr:beg-end]\n"
                "          [--schedule static|dynamic] [--threads T]\n"
-               "          [--preprocess [--m M]] [--no-header]\n"
+               "          [--decode-threads D] [--preprocess [--m M]]\n"
+               "          [--no-header]\n"
                "FORMAT: sam bam bed bedgraph fasta fastq json yaml\n"
-               "--ranks 0 / --threads 0 auto-detect the hardware width\n",
+               "--ranks 0 / --threads 0 / --decode-threads 0 auto-detect\n"
+               "the hardware width; --decode-threads sets the BGZF inflate\n"
+               "workers used while reading BAM input\n",
                prog);
   return 2;
 }
@@ -71,15 +74,24 @@ int main(int argc, char** argv) {
                                       auto_width);
     }
     options.include_header = !args.get_bool("no-header", false);
+    // 0 = auto; the BGZF reader factory resolves it to the hardware
+    // width, so only the sign needs validating here.
+    const int64_t decode_request = args.get_int("decode-threads", 0);
+    if (decode_request < 0) {
+      throw UsageError("--decode-threads must be >= 0 (0 = auto)");
+    }
+    options.decode_threads = static_cast<int>(decode_request);
     const std::string region_text = args.get("region", "");
 
+    double preprocess_seconds = 0.0;
     core::ConvertStats stats;
     if (strutil::ends_with(in, ".bam")) {
       // BAM path: preprocess (III-B), then full or partial conversion.
       const std::string bamx = out + "/input.bamx";
       const std::string baix = out + "/input.baix";
       std::filesystem::create_directories(out);
-      auto pre = core::preprocess_bam(in, bamx, baix);
+      auto pre = core::preprocess_bam(in, bamx, baix, options.decode_threads);
+      preprocess_seconds = pre.seconds;
       std::fprintf(stderr, "preprocessed %llu records in %.2f s\n",
                    static_cast<unsigned long long>(pre.records), pre.seconds);
       std::optional<core::Region> region;
@@ -99,6 +111,7 @@ int main(int argc, char** argv) {
       const int m =
           resolve_width("m", args.get_int("m", options.ranks), auto_width);
       auto pre = core::preprocess_sam_parallel(in, out + "/shards", m);
+      preprocess_seconds = pre.seconds;
       std::fprintf(stderr, "preprocessed %llu records (%d shards) in %.2f s\n",
                    static_cast<unsigned long long>(pre.records), m,
                    pre.seconds);
@@ -116,6 +129,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.records_in),
                 static_cast<unsigned long long>(stats.records_out),
                 stats.seconds);
+    std::printf("stage wall time: preprocess %.2f s, convert %.2f s\n",
+                preprocess_seconds, stats.seconds);
     std::printf("%.1f MB in, %.1f MB out, %zu part files under %s\n",
                 stats.bytes_in / 1e6, stats.bytes_out / 1e6,
                 stats.outputs.size(), out.c_str());

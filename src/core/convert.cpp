@@ -372,7 +372,8 @@ ConvertStats convert_sam(const std::string& sam_path,
 
 PreprocessStats preprocess_bam(const std::string& bam_path,
                                const std::string& bamx_path,
-                               const std::string& baix_path) {
+                               const std::string& baix_path,
+                               int decode_threads) {
   WallTimer timer;
   PreprocessStats stats;
   stats.bytes_in = ngsx::file_size(bam_path);
@@ -381,7 +382,7 @@ PreprocessStats preprocess_bam(const std::string& bam_path,
   // stride-defining maxima require a full sequential decode pass.
   bamx::BamxLayout layout;
   {
-    bam::BamFileReader reader(bam_path);
+    bam::BamFileReader reader(bam_path, decode_threads);
     AlignmentRecord rec;
     while (reader.next(rec)) {
       layout.accommodate(rec);
@@ -391,7 +392,7 @@ PreprocessStats preprocess_bam(const std::string& bam_path,
   // Pass 2 (encode): write fixed-stride records and collect BAIX entries.
   std::vector<bamx::BaixEntry> entries;
   {
-    bam::BamFileReader reader(bam_path);
+    bam::BamFileReader reader(bam_path, decode_threads);
     bamx::BamxWriter writer(bamx_path, reader.header(), layout);
     AlignmentRecord rec;
     uint64_t index = 0;
@@ -620,9 +621,10 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
 
 ConvertStats convert_bam_sequential(const std::string& bam_path,
                                     const std::string& out_path,
-                                    TargetFormat format) {
+                                    TargetFormat format,
+                                    int decode_threads) {
   WallTimer timer;
-  bam::BamFileReader reader(bam_path);
+  bam::BamFileReader reader(bam_path, decode_threads);
   auto writer = make_target_writer(format, out_path, reader.header(),
                                    /*include_header=*/true);
   ConvertStats stats;

@@ -74,6 +74,7 @@ struct ConvertOptions {
   Schedule schedule = Schedule::kStatic;
   int threads = 0;                     // dynamic pool width; 0 => ranks
   size_t chunk_bytes = 1 << 20;        // dynamic SAM chunk target size
+  int decode_threads = 0;              // BGZF inflate workers; 0 => auto
 };
 
 /// Aggregate statistics of one conversion run.
@@ -115,11 +116,14 @@ ConvertStats convert_sam(const std::string& sam_path,
 
 /// Sequential preprocessing: BAM -> BAMX + BAIX. Two passes over the BAM
 /// (measure, then encode) because the BAMX stride must be known up front;
-/// BAM readability is inherently sequential, which is why this phase cannot
-/// be parallelized (the paper's §III-B observation).
+/// record *framing* is inherently sequential (the paper's §III-B
+/// observation), but block inflation is not: `decode_threads` BGZF
+/// workers (0 = auto, 1 = sequential) overlap decompression with the
+/// record scan in both passes.
 PreprocessStats preprocess_bam(const std::string& bam_path,
                                const std::string& bamx_path,
-                               const std::string& baix_path);
+                               const std::string& baix_path,
+                               int decode_threads = 0);
 
 /// Parallel conversion phase over a preprocessed BAMX file. With `region`,
 /// performs partial conversion: the BAIX is binary-searched for the region
@@ -150,7 +154,8 @@ void build_baix2(const std::string& bamx_path, const std::string& baix2_path);
 /// preprocessing column for BAM measures).
 ConvertStats convert_bam_sequential(const std::string& bam_path,
                                     const std::string& out_path,
-                                    TargetFormat format);
+                                    TargetFormat format,
+                                    int decode_threads = 1);
 
 // ---------------------------------------------------------------------------
 // 3. Preprocessing-optimized SAM format converter (§III-C).

@@ -55,6 +55,14 @@ struct PipelineOptions {
   size_t window = 0;
   /// Pipeline<> only: input channel capacity; 0 means window.
   size_t capacity = 0;
+  /// Optional cooperative cancellation (ordered_pipeline): once it reads
+  /// true, no further source items are claimed — items already in flight
+  /// still transform and commit, then the pipeline returns normally. The
+  /// flag alone never unblocks a sink stalled on downstream backpressure;
+  /// cancelling callers must also release whatever the sink blocks on
+  /// (e.g. close the output channel, as the parallel BGZF reader does on
+  /// seek invalidation).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 template <typename In, typename Out>
@@ -107,6 +115,11 @@ void ordered_pipeline(Pool& pool,
         {
           std::lock_guard<std::mutex> lock(st.source_mu);
           if (st.source_done) {
+            break;
+          }
+          if (opt.cancel != nullptr &&
+              opt.cancel->load(std::memory_order_relaxed)) {
+            st.source_done = true;  // stop claiming; in-flight items commit
             break;
           }
           bool have = false;

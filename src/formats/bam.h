@@ -59,18 +59,22 @@ class BamFileWriter {
   std::string scratch_;
 };
 
-/// Streaming BAM reader over BGZF. Sequential by construction; seek() is
-/// only valid with virtual offsets from tell() or a BAI index.
+/// Streaming BAM reader over BGZF. Record framing is sequential by
+/// construction, but block *inflation* need not be: `decode_threads` > 1
+/// opens the file through bgzf::ParallelReader, overlapping decompression
+/// with record decoding (0 = auto-detect hardware width, 1 = the plain
+/// sequential bgzf::Reader). seek() is only valid with virtual offsets
+/// from tell() or a BAI index either way.
 class BamFileReader {
  public:
-  explicit BamFileReader(const std::string& path);
+  explicit BamFileReader(const std::string& path, int decode_threads = 1);
 
   const sam::SamHeader& header() const { return header_; }
 
   /// Virtual offset of the next record (valid to seek back to).
-  uint64_t tell() { return in_.tell(); }
+  uint64_t tell() { return in_->tell(); }
 
-  void seek(uint64_t voffset) { in_.seek(voffset); }
+  void seek(uint64_t voffset) { in_->seek(voffset); }
 
   /// Decodes the next record; returns false at EOF.
   bool next(sam::AlignmentRecord& rec);
@@ -80,7 +84,7 @@ class BamFileReader {
   bool next_raw(std::string& body);
 
  private:
-  bgzf::Reader in_;
+  std::unique_ptr<bgzf::ReaderBase> in_;
   sam::SamHeader header_;
   std::string body_;
 };

@@ -13,7 +13,7 @@ namespace {
 //   ID1 ID2 CM FLG      MTIME(4)    XFL OS  XLEN(2)
 //   1f  8b  08 04       00000000    00  ff  0600
 // then the extra subfield: 'B' 'C' 02 00 BSIZE(2).
-constexpr size_t kHeaderSize = 18;
+constexpr size_t kHeaderSize = kBlockHeaderSize;
 constexpr size_t kFooterSize = 8;  // CRC32 + ISIZE
 
 const unsigned char kEofBlock[28] = {
@@ -26,6 +26,16 @@ const unsigned char kEofBlock[28] = {
                     std::to_string(code));
 }
 
+/// Decorates a block-level error message with the compressed file offset
+/// when one is known, so concurrent decoders report *where* the stream
+/// broke (the sequential reader uses the same path for message parity).
+[[noreturn]] void block_error(const std::string& msg, uint64_t coffset) {
+  if (coffset == kNoOffset) {
+    throw FormatError(msg);
+  }
+  throw FormatError(msg + " at compressed offset " + std::to_string(coffset));
+}
+
 }  // namespace
 
 std::string_view eof_marker() {
@@ -33,30 +43,55 @@ std::string_view eof_marker() {
                           sizeof(kEofBlock));
 }
 
-void compress_block(std::string_view input, std::string& out, int level) {
+// ----------------------------------------------------------------- Deflater
+
+Deflater::Deflater(int level) : zs_(new z_stream{}), level_(level) {
+  int rc = deflateInit2(zs_, level_, Z_DEFLATED, /*windowBits=*/-15,
+                        /*memLevel=*/8, Z_DEFAULT_STRATEGY);
+  if (rc != Z_OK) {
+    delete zs_;
+    zs_ = nullptr;
+    zlib_error("deflateInit2", rc);
+  }
+}
+
+Deflater::~Deflater() {
+  if (zs_ != nullptr) {
+    deflateEnd(zs_);
+    delete zs_;
+  }
+}
+
+void Deflater::compress(std::string_view input, std::string& out, int level) {
   NGSX_CHECK_MSG(input.size() <= kMaxBlockInput,
                  "BGZF block input too large");
   // Raw deflate (windowBits = -15): we write the gzip wrapper ourselves so
-  // we can place the BC extra field.
-  z_stream zs{};
-  int rc = deflateInit2(&zs, level, Z_DEFLATED, /*windowBits=*/-15,
-                        /*memLevel=*/8, Z_DEFAULT_STRATEGY);
-  if (rc != Z_OK) {
-    zlib_error("deflateInit2", rc);
+  // we can place the BC extra field. The stream is recycled with
+  // deflateReset; a level change (rare) pays a full reinit.
+  int rc;
+  if (level != level_) {
+    deflateEnd(zs_);
+    *zs_ = z_stream{};
+    rc = deflateInit2(zs_, level, Z_DEFLATED, /*windowBits=*/-15,
+                      /*memLevel=*/8, Z_DEFAULT_STRATEGY);
+    level_ = level;
+  } else {
+    rc = deflateReset(zs_);
   }
-  size_t bound = deflateBound(&zs, input.size());
+  if (rc != Z_OK) {
+    zlib_error("deflateReset", rc);
+  }
+  size_t bound = deflateBound(zs_, input.size());
   std::string body(bound, '\0');
-  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(input.data()));
-  zs.avail_in = static_cast<uInt>(input.size());
-  zs.next_out = reinterpret_cast<Bytef*>(body.data());
-  zs.avail_out = static_cast<uInt>(body.size());
-  rc = deflate(&zs, Z_FINISH);
+  zs_->next_in = reinterpret_cast<Bytef*>(const_cast<char*>(input.data()));
+  zs_->avail_in = static_cast<uInt>(input.size());
+  zs_->next_out = reinterpret_cast<Bytef*>(body.data());
+  zs_->avail_out = static_cast<uInt>(body.size());
+  rc = deflate(zs_, Z_FINISH);
   if (rc != Z_STREAM_END) {
-    deflateEnd(&zs);
     zlib_error("deflate", rc);
   }
-  body.resize(zs.total_out);
-  deflateEnd(&zs);
+  body.resize(zs_->total_out);
 
   size_t total = kHeaderSize + body.size() + kFooterSize;
   if (total - 1 > 0xFFFF) {
@@ -77,6 +112,11 @@ void compress_block(std::string_view input, std::string& out, int level) {
             static_cast<uInt>(input.size())));
   binio::put_le<uint32_t>(out, crc);
   binio::put_le<uint32_t>(out, static_cast<uint32_t>(input.size()));
+}
+
+void compress_block(std::string_view input, std::string& out, int level) {
+  Deflater deflater(level);
+  deflater.compress(input, out);
 }
 
 size_t peek_block_size(std::string_view data) {
@@ -110,17 +150,37 @@ size_t peek_block_size(std::string_view data) {
   throw FormatError("BGZF BC subfield not found");
 }
 
-size_t decompress_block(std::string_view block, std::string& out) {
+// ----------------------------------------------------------------- Inflater
+
+Inflater::Inflater() : zs_(new z_stream{}) {
+  int rc = inflateInit2(zs_, /*windowBits=*/-15);
+  if (rc != Z_OK) {
+    delete zs_;
+    zs_ = nullptr;
+    zlib_error("inflateInit2", rc);
+  }
+}
+
+Inflater::~Inflater() {
+  if (zs_ != nullptr) {
+    inflateEnd(zs_);
+    delete zs_;
+  }
+}
+
+size_t Inflater::decompress(std::string_view block, std::string& out,
+                            uint64_t coffset) {
   size_t total = peek_block_size(block);
   if (block.size() != total) {
-    throw FormatError("BGZF block size mismatch: header says " +
-                      std::to_string(total) + ", got " +
-                      std::to_string(block.size()));
+    block_error("BGZF block size mismatch: header says " +
+                    std::to_string(total) + ", got " +
+                    std::to_string(block.size()),
+                coffset);
   }
   uint16_t xlen = binio::get_le<uint16_t>(block, 10);
   size_t body_begin = 12 + xlen;
   if (total < body_begin + kFooterSize) {
-    throw FormatError("BGZF block too small");
+    block_error("BGZF block too small", coffset);
   }
   size_t body_size = total - body_begin - kFooterSize;
   uint32_t expect_crc = binio::get_le<uint32_t>(block, total - 8);
@@ -129,37 +189,43 @@ size_t decompress_block(std::string_view block, std::string& out) {
   size_t out_start = out.size();
   out.resize(out_start + isize);
 
-  z_stream zs{};
-  int rc = inflateInit2(&zs, /*windowBits=*/-15);
+  // inflateReset also recovers the stream after a prior data error, so a
+  // long-lived Inflater stays usable when a caller survives a bad block.
+  int rc = inflateReset(zs_);
   if (rc != Z_OK) {
-    zlib_error("inflateInit2", rc);
+    zlib_error("inflateReset", rc);
   }
-  zs.next_in = reinterpret_cast<Bytef*>(
+  zs_->next_in = reinterpret_cast<Bytef*>(
       const_cast<char*>(block.data() + body_begin));
-  zs.avail_in = static_cast<uInt>(body_size);
-  zs.next_out = reinterpret_cast<Bytef*>(out.data() + out_start);
-  zs.avail_out = static_cast<uInt>(isize);
-  rc = inflate(&zs, Z_FINISH);
-  if (rc != Z_STREAM_END || zs.total_out != isize) {
-    inflateEnd(&zs);
-    throw FormatError("BGZF inflate failed or ISIZE mismatch");
+  zs_->avail_in = static_cast<uInt>(body_size);
+  zs_->next_out = reinterpret_cast<Bytef*>(out.data() + out_start);
+  zs_->avail_out = static_cast<uInt>(isize);
+  rc = inflate(zs_, Z_FINISH);
+  if (rc != Z_STREAM_END || zs_->total_out != isize) {
+    out.resize(out_start);
+    block_error("BGZF inflate failed or ISIZE mismatch", coffset);
   }
-  inflateEnd(&zs);
 
   uint32_t crc = static_cast<uint32_t>(
       crc32(crc32(0L, Z_NULL, 0),
             reinterpret_cast<const Bytef*>(out.data() + out_start),
             static_cast<uInt>(isize)));
   if (crc != expect_crc) {
-    throw FormatError("BGZF CRC mismatch");
+    out.resize(out_start);
+    block_error("BGZF CRC mismatch", coffset);
   }
   return isize;
+}
+
+size_t decompress_block(std::string_view block, std::string& out) {
+  Inflater inflater;
+  return inflater.decompress(block, out);
 }
 
 // -------------------------------------------------------------------- Writer
 
 Writer::Writer(const std::string& path, int level)
-    : out_(std::make_unique<OutputFile>(path)), level_(level) {
+    : out_(std::make_unique<OutputFile>(path)), deflater_(level) {
   pending_.reserve(kMaxBlockInput);
 }
 
@@ -197,7 +263,7 @@ void Writer::flush_block() {
 
 void Writer::emit_block() {
   scratch_.clear();
-  compress_block(pending_, scratch_, level_);
+  deflater_.compress(pending_, scratch_);
   out_->write(scratch_);
   compressed_offset_ += scratch_.size();
   pending_.clear();
@@ -216,10 +282,23 @@ void Writer::close() {
 
 // -------------------------------------------------------------------- Reader
 
+void ReaderBase::read_exact(void* buf, size_t n) {
+  size_t got = read(buf, n);
+  if (got != n) {
+    throw FormatError("truncated BGZF stream: wanted " + std::to_string(n) +
+                      " bytes, got " + std::to_string(got));
+  }
+}
+
 Reader::Reader(const std::string& path) : file_(path) {}
 
 bool Reader::load_block(uint64_t coffset) {
   if (coffset >= file_.size()) {
+    // Park the cursor at the attempted offset: tell() then reports the
+    // end of the scanned stream, and a re-read stays at EOF instead of
+    // re-delivering the last cached block.
+    block_coffset_ = coffset;
+    block_csize_ = 0;
     have_block_ = false;
     return false;
   }
@@ -236,7 +315,7 @@ bool Reader::load_block(uint64_t coffset) {
                       std::to_string(coffset));
   }
   block_.clear();
-  decompress_block(raw, block_);
+  inflater_.decompress(raw, block_, coffset);
   block_coffset_ = coffset;
   block_csize_ = total;
   block_pos_ = 0;
@@ -269,15 +348,7 @@ size_t Reader::read(void* buf, size_t n) {
   return total;
 }
 
-void Reader::read_exact(void* buf, size_t n) {
-  size_t got = read(buf, n);
-  if (got != n) {
-    throw FormatError("truncated BGZF stream: wanted " + std::to_string(n) +
-                      " bytes, got " + std::to_string(got));
-  }
-}
-
-uint64_t Reader::tell() const {
+uint64_t Reader::tell() {
   if (!have_block_) {
     return make_voffset(block_coffset_, 0);
   }

@@ -19,12 +19,21 @@
 #include "util/binio.h"
 #include "util/common.h"
 
+struct z_stream_s;  // zlib; kept out of this header
+
 namespace ngsx::bgzf {
 
 /// Maximum uncompressed payload per BGZF block. The spec caps the
 /// *compressed* block at 64 KiB; capping input at 0xff00 bytes leaves room
 /// for incompressible data plus headers, matching htslib's choice.
 constexpr size_t kMaxBlockInput = 0xff00;
+
+/// Size of the fixed BGZF member header up to and including the BC extra
+/// subfield (the minimum prefix peek_block_size() needs).
+constexpr size_t kBlockHeaderSize = 18;
+
+/// Sentinel for "no compressed offset known" in block error messages.
+constexpr uint64_t kNoOffset = ~0ull;
 
 /// The 28-byte empty block that marks end-of-file (SAM spec §4.1.2).
 std::string_view eof_marker();
@@ -40,18 +49,70 @@ constexpr uint32_t voffset_uoffset(uint64_t v) {
   return static_cast<uint32_t>(v & 0xFFFFu);
 }
 
+/// Reusable BGZF block compressor: one z_stream held across blocks and
+/// recycled with deflateReset, so steady-state compression skips the
+/// per-block deflateInit2 setup the free function pays. Output is
+/// byte-identical to compress_block at the same level (deflate is
+/// deterministic for fixed parameters). Not thread-safe; use one per
+/// thread (the parallel writer keeps one per worker).
+class Deflater {
+ public:
+  explicit Deflater(int level = 6);
+  ~Deflater();
+
+  Deflater(const Deflater&) = delete;
+  Deflater& operator=(const Deflater&) = delete;
+
+  /// Compresses `input` (<= kMaxBlockInput bytes) into one complete BGZF
+  /// block appended to `out`. Changing `level` between calls reinitializes
+  /// the stream; a stable level costs only a deflateReset.
+  void compress(std::string_view input, std::string& out, int level);
+  void compress(std::string_view input, std::string& out) {
+    compress(input, out, level_);
+  }
+
+ private:
+  z_stream_s* zs_ = nullptr;
+  int level_;
+};
+
+/// Reusable BGZF block decompressor: one z_stream recycled with
+/// inflateReset across blocks (the sequential and parallel readers both
+/// hold long-lived instances). Not thread-safe.
+class Inflater {
+ public:
+  Inflater();
+  ~Inflater();
+
+  Inflater(const Inflater&) = delete;
+  Inflater& operator=(const Inflater&) = delete;
+
+  /// Inflates the single complete BGZF block at `block` (exactly the bytes
+  /// of one gzip member) and appends the payload to `out`. Verifies CRC32
+  /// and ISIZE. Returns the payload size. When `coffset` is not kNoOffset,
+  /// error messages carry the block's compressed file offset.
+  size_t decompress(std::string_view block, std::string& out,
+                    uint64_t coffset = kNoOffset);
+
+ private:
+  z_stream_s* zs_ = nullptr;
+};
+
 /// Compresses `input` (<= kMaxBlockInput bytes) into one complete BGZF
 /// block appended to `out`. `level` is a zlib level (1-9, or 0 for stored).
+/// Convenience wrapper over a throwaway Deflater.
 void compress_block(std::string_view input, std::string& out, int level = 6);
 
 /// Inspects the BGZF block header at `data` and returns the total size of
 /// the compressed block (BSIZE+1). Throws FormatError if the magic or the
-/// BC extra field is wrong. `data` must hold at least 18 bytes.
+/// BC extra field is wrong. `data` must hold at least kBlockHeaderSize
+/// bytes.
 size_t peek_block_size(std::string_view data);
 
 /// Inflates the single complete BGZF block at `block` (exactly the bytes of
 /// one gzip member) and appends the payload to `out`. Verifies CRC32 and
-/// ISIZE. Returns the payload size.
+/// ISIZE. Returns the payload size. Convenience wrapper over a throwaway
+/// Inflater.
 size_t decompress_block(std::string_view block, std::string& out);
 
 /// Streaming BGZF writer: buffers appended bytes and emits full blocks.
@@ -90,35 +151,51 @@ class Writer {
   std::string pending_;      // uncompressed bytes of the open block
   std::string scratch_;      // compressed block scratch
   uint64_t compressed_offset_ = 0;  // file offset of the open block
-  int level_;
+  Deflater deflater_;
   bool closed_ = false;
+};
+
+/// The read-side BGZF contract shared by the sequential Reader and the
+/// ParallelReader (formats/bgzf_parallel.h): byte-stream read() plus
+/// virtual-offset tell()/seek(). Consumers (the BAM reader, converters)
+/// program against this so decode parallelism is a construction-time
+/// choice, not an API fork.
+class ReaderBase {
+ public:
+  virtual ~ReaderBase() = default;
+
+  /// Reads up to `n` decompressed bytes; returns bytes read (short only at
+  /// EOF).
+  virtual size_t read(void* buf, size_t n) = 0;
+
+  /// Current virtual offset (next byte to be read).
+  virtual uint64_t tell() = 0;
+
+  /// Repositions to a virtual offset previously obtained from tell() (or an
+  /// index).
+  virtual void seek(uint64_t voffset) = 0;
+
+  /// True when the underlying file is exhausted.
+  virtual bool eof() = 0;
+
+  /// Total compressed file size.
+  virtual uint64_t compressed_size() const = 0;
+
+  /// Reads exactly `n` bytes or throws FormatError (truncated file).
+  void read_exact(void* buf, size_t n);
 };
 
 /// Random-access BGZF reader with a one-block cache. Supports sequential
 /// read() and seek() to a virtual offset; BAM layers record framing on top.
-class Reader {
+class Reader final : public ReaderBase {
  public:
   explicit Reader(const std::string& path);
 
-  /// Reads up to `n` decompressed bytes; returns bytes read (short only at
-  /// EOF).
-  size_t read(void* buf, size_t n);
-
-  /// Reads exactly `n` bytes or throws FormatError (truncated file).
-  void read_exact(void* buf, size_t n);
-
-  /// Current virtual offset (next byte to be read).
-  uint64_t tell() const;
-
-  /// Repositions to a virtual offset previously obtained from tell() (or an
-  /// index).
-  void seek(uint64_t voffset);
-
-  /// True when the underlying file is exhausted.
-  bool eof();
-
-  /// Total compressed file size.
-  uint64_t compressed_size() const { return file_.size(); }
+  size_t read(void* buf, size_t n) override;
+  uint64_t tell() override;
+  void seek(uint64_t voffset) override;
+  bool eof() override;
+  uint64_t compressed_size() const override { return file_.size(); }
 
  private:
   /// Loads the block starting at compressed offset `coffset` into the cache.
@@ -126,6 +203,7 @@ class Reader {
   bool load_block(uint64_t coffset);
 
   InputFile file_;
+  Inflater inflater_;              // one z_stream reused across blocks
   std::string block_;              // decompressed payload of cached block
   uint64_t block_coffset_ = 0;     // compressed offset of cached block
   size_t block_csize_ = 0;         // compressed size of cached block

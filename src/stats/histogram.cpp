@@ -143,8 +143,9 @@ CoverageHistogram CoverageHistogram::read_bedgraph(const std::string& path,
 }
 
 CoverageHistogram histogram_from_bam(const std::string& bam_path,
-                                     int32_t bin_size) {
-  bam::BamFileReader reader(bam_path);
+                                     int32_t bin_size,
+                                     int decode_threads) {
+  bam::BamFileReader reader(bam_path, decode_threads);
   CoverageHistogram hist(reader.header(), bin_size);
   AlignmentRecord rec;
   while (reader.next(rec)) {

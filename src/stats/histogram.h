@@ -57,9 +57,12 @@ class CoverageHistogram {
   std::vector<std::vector<double>> per_ref_;
 };
 
-/// Builds a histogram by streaming a BAM file.
+/// Builds a histogram by streaming a BAM file. `decode_threads` BGZF
+/// inflate workers overlap block decompression with binning (0 = auto,
+/// 1 = sequential decode); the result is identical either way.
 CoverageHistogram histogram_from_bam(const std::string& bam_path,
-                                     int32_t bin_size);
+                                     int32_t bin_size,
+                                     int decode_threads = 0);
 
 /// Builds a histogram by streaming a SAM file.
 CoverageHistogram histogram_from_sam(const std::string& sam_path,

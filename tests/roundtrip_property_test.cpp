@@ -140,6 +140,58 @@ TEST_P(RoundTripSeeds, ChainedSamBamBamxFiles) {
   }
 }
 
+TEST_P(RoundTripSeeds, BamFileParallelDecode) {
+  // The same BAM file read with 1, 2, and 8 BGZF decode threads must
+  // yield identical records and identical per-record virtual offsets —
+  // including after seeking back to a previously told offset.
+  SamHeader header = property_header();
+  Rng rng(GetParam() + 5000);
+  std::vector<AlignmentRecord> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back(testutil::random_record(rng, header));
+  }
+  TempDir tmp;
+  {
+    bam::BamFileWriter w(tmp.file("p.bam"), header);
+    for (const auto& r : records) {
+      w.write(r);
+    }
+    w.close();
+  }
+
+  std::vector<uint64_t> seq_voffsets;
+  {
+    bam::BamFileReader r(tmp.file("p.bam"), /*decode_threads=*/1);
+    AlignmentRecord rec;
+    size_t i = 0;
+    while (seq_voffsets.push_back(r.tell()), r.next(rec)) {
+      ASSERT_EQ(rec, records[i]) << "record " << i;
+      ++i;
+    }
+    ASSERT_EQ(i, records.size());
+  }
+
+  for (int threads : {2, 8}) {
+    bam::BamFileReader r(tmp.file("p.bam"), threads);
+    AlignmentRecord rec;
+    for (size_t i = 0; i < records.size(); ++i) {
+      ASSERT_EQ(r.tell(), seq_voffsets[i]) << "threads " << threads;
+      ASSERT_TRUE(r.next(rec));
+      ASSERT_EQ(rec, records[i]) << "threads " << threads << " record " << i;
+    }
+    ASSERT_FALSE(r.next(rec));
+    // Random re-reads through the collected offsets.
+    Rng order(GetParam() + 6000 + static_cast<uint64_t>(threads));
+    for (int probe = 0; probe < 25; ++probe) {
+      size_t i = static_cast<size_t>(order.below(records.size()));
+      r.seek(seq_voffsets[i]);
+      ASSERT_TRUE(r.next(rec));
+      ASSERT_EQ(rec, records[i])
+          << "threads " << threads << " probe of record " << i;
+    }
+  }
+}
+
 TEST_P(RoundTripSeeds, BamxzFile) {
   SamHeader header = property_header();
   Rng rng(GetParam() + 4000);
