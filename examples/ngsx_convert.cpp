@@ -138,5 +138,10 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Non-ngsx exceptions (std::bad_alloc, system_error from a dying
+    // worker thread) must still exit 1, not abort via std::terminate.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 }

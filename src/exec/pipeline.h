@@ -264,6 +264,7 @@ class Pipeline {
   }
 
   void drive(Pool& pool, PipelineOptions opt) {
+    std::exception_ptr error;
     try {
       ordered_pipeline<In, Out>(
           pool,
@@ -278,9 +279,19 @@ class Pipeline {
           [this](In&& item, uint64_t) { return transform_(std::move(item)); },
           [this](Out&& out, uint64_t) { sink_(std::move(out)); }, opt);
     } catch (...) {
+      error = std::current_exception();
+    }
+    // Publish outside the catch block: the driver's own handler reference
+    // to the in-flight exception must be released before the mutex
+    // hand-off, so every access the driver made to the exception object
+    // happens-before the producer thread rethrowing it. (Otherwise the
+    // driver can end up dropping the last reference — running the
+    // exception's destructor — concurrently with the producer reading
+    // what(), with only libstdc++-internal refcounting in between.)
+    if (error) {
       {
         std::lock_guard<std::mutex> lock(error_mu_);
-        error_ = std::current_exception();
+        error_ = std::move(error);
       }
       // Unblock producers: their next push() fails and rethrows.
       input_.close();

@@ -193,6 +193,7 @@ void TaskGroup::task_done() {
 }
 
 void TaskGroup::record_error(std::exception_ptr error) {
+  failed_.store(true, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   if (!error_) {
     error_ = std::move(error);

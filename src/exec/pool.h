@@ -123,6 +123,11 @@ class TaskGroup {
   /// executes queued tasks while waiting instead of blocking the worker.
   void wait();
 
+  /// True once any task in the group has thrown. Cooperative-cancellation
+  /// signal: long-running siblings (parallel_for pumps) poll it to stop
+  /// claiming new work once the loop's outcome is already an error.
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
  private:
   friend class Pool;
 
@@ -131,6 +136,7 @@ class TaskGroup {
 
   Pool& pool_;
   std::atomic<int64_t> outstanding_{0};
+  std::atomic<bool> failed_{false};
   std::mutex mu_;
   std::condition_variable cv_;
   std::exception_ptr error_;  // first failure; guarded by mu_
@@ -161,8 +167,12 @@ void parallel_for(Pool& pool, uint64_t begin, uint64_t end, uint64_t grain,
     return;
   }
   std::atomic<uint64_t> next{begin};
-  auto pump = [&next, &body, end, grain] {
-    while (true) {
+  TaskGroup group(pool);
+  auto pump = [&next, &body, &group, end, grain] {
+    // Stop claiming chunks once a sibling has thrown: the loop's outcome
+    // is already that error, and grinding through the remaining range
+    // would only delay its propagation (or hit the same fault repeatedly).
+    while (!group.failed()) {
       uint64_t at = next.fetch_add(grain, std::memory_order_relaxed);
       if (at >= end) {
         return;
@@ -172,7 +182,6 @@ void parallel_for(Pool& pool, uint64_t begin, uint64_t end, uint64_t grain,
   };
   const int n_workers =
       static_cast<int>(std::min<uint64_t>(pool.size(), n_chunks));
-  TaskGroup group(pool);
   for (int w = 0; w < n_workers; ++w) {
     group.spawn(pump);
   }

@@ -346,25 +346,19 @@ void BamxWriter::close() {
   if (closed_) {
     return;
   }
-  out_->close();
   closed_ = true;
-  // Patch the record count in place.
-  int fd_patch_ok = 0;
-  {
+  // Patch the record count into the staging file *before* commit, so the
+  // rename can only ever publish a complete, internally consistent BAMX.
+  // (The old reopen-and-patch-after-close left a window where a crash
+  // committed a final-named file with n_records = 0.)
+  try {
     std::string count;
     binio::put_le<uint64_t>(count, n_records_);
-    FILE* f = std::fopen(path_.c_str(), "r+b");
-    if (f != nullptr) {
-      if (std::fseek(f, static_cast<long>(count_field_offset_), SEEK_SET) ==
-              0 &&
-          std::fwrite(count.data(), 1, count.size(), f) == count.size()) {
-        fd_patch_ok = 1;
-      }
-      std::fclose(f);
-    }
-  }
-  if (fd_patch_ok == 0) {
-    throw IoError("failed to finalize BAMX record count in '" + path_ + "'");
+    out_->patch_at(count_field_offset_, count);
+    out_->close();
+  } catch (...) {
+    out_->discard();
+    throw;
   }
 }
 

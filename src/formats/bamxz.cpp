@@ -3,7 +3,6 @@
 #include <zlib.h>
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
 
 #include "formats/bam.h"
@@ -131,31 +130,28 @@ void BamxzWriter::close() {
   if (closed_) {
     return;
   }
-  flush_block();
-  // Footer: block table + counts + trailer magic.
-  std::string footer;
-  uint64_t table_offset = file_offset_;
-  for (uint64_t off : block_offsets_) {
-    binio::put_le<uint64_t>(footer, off);
-  }
-  binio::put_le<uint64_t>(footer, block_offsets_.size());
-  binio::put_le<uint64_t>(footer, table_offset);
-  footer += kFooterMagic;
-  out_->write(footer);
-  out_->close();
   closed_ = true;
-  // Patch n_records in the header.
-  std::string count;
-  binio::put_le<uint64_t>(count, n_records_);
-  FILE* f = std::fopen(path_.c_str(), "r+b");
-  bool ok = f != nullptr;
-  if (ok) {
-    ok = std::fseek(f, static_cast<long>(count_field_offset_), SEEK_SET) == 0 &&
-         std::fwrite(count.data(), 1, count.size(), f) == count.size();
-    std::fclose(f);
-  }
-  if (!ok) {
-    throw IoError("failed to finalize BAMXZ record count in '" + path_ + "'");
+  try {
+    flush_block();
+    // Footer: block table + counts + trailer magic.
+    std::string footer;
+    uint64_t table_offset = file_offset_;
+    for (uint64_t off : block_offsets_) {
+      binio::put_le<uint64_t>(footer, off);
+    }
+    binio::put_le<uint64_t>(footer, block_offsets_.size());
+    binio::put_le<uint64_t>(footer, table_offset);
+    footer += kFooterMagic;
+    out_->write(footer);
+    // Patch n_records into the staging file before commit (see BamxWriter):
+    // the rename must only ever publish a complete, consistent file.
+    std::string count;
+    binio::put_le<uint64_t>(count, n_records_);
+    out_->patch_at(count_field_offset_, count);
+    out_->close();
+  } catch (...) {
+    out_->discard();
+    throw;
   }
 }
 

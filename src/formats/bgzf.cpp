@@ -230,10 +230,13 @@ Writer::Writer(const std::string& path, int level)
 }
 
 Writer::~Writer() {
-  try {
-    close();
-  } catch (const Error&) {
-    // Callers that need error reporting call close() explicitly.
+  // Destruction without close() is a rollback, not a commit: flushing the
+  // tail and publishing the file here would turn an unwinding error path
+  // into a silently truncated-but-committed BGZF stream. The OutputFile
+  // destructor discards the staging file.
+  if (!closed_) {
+    closed_ = true;
+    out_->discard();
   }
 }
 
@@ -273,11 +276,16 @@ void Writer::close() {
   if (closed_) {
     return;
   }
-  flush_block();
-  out_->write(eof_marker());
-  compressed_offset_ += eof_marker().size();
-  out_->close();
   closed_ = true;
+  try {
+    flush_block();
+    out_->write(eof_marker());
+    compressed_offset_ += eof_marker().size();
+    out_->close();
+  } catch (...) {
+    out_->discard();
+    throw;
+  }
 }
 
 // -------------------------------------------------------------------- Reader

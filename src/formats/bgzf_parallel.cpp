@@ -50,10 +50,18 @@ ParallelWriter::ParallelWriter(const std::string& path, int threads,
 }
 
 ParallelWriter::~ParallelWriter() {
-  try {
-    close();
-  } catch (const std::exception&) {
-    // close() rethrows worker errors; destructors must swallow them.
+  // Destruction without close() rolls the output back (see bgzf::Writer).
+  // The pipeline must be drained first: its sink writes out_ from the
+  // driver side, so discarding while workers run would race.
+  if (!closed_) {
+    closed_ = true;
+    try {
+      pipeline_.finish();
+    } catch (const std::exception&) {
+      // Already rolling back; the first error was or will be reported by
+      // whoever abandoned this writer.
+    }
+    out_->discard();
   }
 }
 
@@ -88,12 +96,22 @@ void ParallelWriter::close() {
     return;
   }
   closed_ = true;
-  if (!pending_.empty()) {
-    submit_pending();
+  try {
+    if (!pending_.empty()) {
+      submit_pending();
+    }
+    pipeline_.finish();  // drain; rethrows the first compression/write error
+    out_->write(eof_marker());
+    out_->close();
+  } catch (...) {
+    try {
+      pipeline_.finish();  // join workers before touching out_
+    } catch (const std::exception&) {
+      // First error wins; it is already in flight.
+    }
+    out_->discard();
+    throw;
   }
-  pipeline_.finish();  // drain; rethrows the first compression/write error
-  out_->write(eof_marker());
-  out_->close();
 }
 
 // ---------------------------------------------------------- ParallelReader

@@ -4,21 +4,53 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cassert>
 #include <cerrno>
 #include <cstring>
+#include <exception>
 #include <utility>
+
+#include "util/iopolicy.h"
 
 namespace ngsx {
 
 namespace {
+
 std::string errno_message(const std::string& op, const std::string& path) {
   return op + " '" + path + "': " + std::strerror(errno);
 }
+
+/// Consults the IoPolicy for one physical operation against `path`.
+/// Transient faults are retried in place with exponential backoff (they
+/// model errors a retry genuinely absorbs, e.g. EAGAIN from a saturated
+/// network filesystem); every other injected failure throws IoError with
+/// the canonical "[injected fault]" message. Returns the decision so
+/// readers can honour kShort clamps.
+io::Decision io_consult(const std::string& path, io::Op op, const char* name,
+                        uint64_t bytes_so_far, size_t request) {
+  io::Decision d =
+      io::IoPolicy::instance().check(path, op, bytes_so_far, request);
+  int attempt = 0;
+  while (d.action == io::Decision::Action::kFail && d.transient &&
+         attempt < io::kMaxTransientRetries) {
+    io::backoff(attempt++);
+    d = io::IoPolicy::instance().check(path, op, bytes_so_far, request);
+  }
+  if (d.action == io::Decision::Action::kFail) {
+    throw IoError(io::fault_message(name, path, d.err));
+  }
+  return d;
+}
+
 }  // namespace
 
 // ----------------------------------------------------------------- InputFile
 
 InputFile::InputFile(const std::string& path) : path_(path) {
+  if (io::IoPolicy::armed()) {
+    io_consult(path_, io::Op::kOpen, "open", 0, 0);
+  }
   fd_ = ::open(path.c_str(), O_RDONLY);
   if (fd_ < 0) {
     throw IoError(errno_message("open", path));
@@ -57,10 +89,17 @@ InputFile& InputFile::operator=(InputFile&& other) noexcept {
 }
 
 size_t InputFile::pread(void* buf, size_t n, uint64_t offset) const {
+  size_t want = n;
+  if (io::IoPolicy::armed()) {
+    io::Decision d = io_consult(path_, io::Op::kRead, "pread", offset, n);
+    if (d.action == io::Decision::Action::kShort) {
+      want = std::min<size_t>(want, d.max_bytes);
+    }
+  }
   char* out = static_cast<char*>(buf);
   size_t total = 0;
-  while (total < n) {
-    ssize_t got = ::pread(fd_, out + total, n - total,
+  while (total < want) {
+    ssize_t got = ::pread(fd_, out + total, want - total,
                           static_cast<off_t>(offset + total));
     if (got < 0) {
       if (errno == EINTR) {
@@ -72,6 +111,16 @@ size_t InputFile::pread(void* buf, size_t n, uint64_t offset) const {
       break;  // EOF
     }
     total += static_cast<size_t>(got);
+  }
+  // A short read that the file's known extent says should have been full is
+  // damage (file shrank underneath us, or an injected truncation) — never
+  // return it as a normal EOF, or line/block readers would silently emit
+  // truncated output and report success.
+  if (total < n && offset + n <= size_) {
+    throw IoError("short read from '" + path_ + "': wanted " +
+                  std::to_string(n) + " bytes at offset " +
+                  std::to_string(offset) + ", got " + std::to_string(total) +
+                  " inside a file of " + std::to_string(size_) + " bytes");
   }
   return total;
 }
@@ -94,21 +143,32 @@ std::string InputFile::read_at(uint64_t offset, size_t n) const {
 
 // ---------------------------------------------------------------- OutputFile
 
-OutputFile::OutputFile(const std::string& path, size_t buffer_bytes)
-    : buffer_cap_(buffer_bytes), path_(path) {
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+OutputFile::OutputFile(const std::string& path, size_t buffer_bytes,
+                       Commit commit)
+    : buffer_cap_(buffer_bytes), path_(path), commit_(commit) {
+  staging_ = commit_ == Commit::kAtomic
+                 ? path_ + ".tmp." + std::to_string(::getpid())
+                 : path_;
+  if (io::IoPolicy::armed()) {
+    io_consult(path_, io::Op::kOpen, "open for write", 0, 0);
+  }
+  fd_ = ::open(staging_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
-    throw IoError(errno_message("open for write", path));
+    throw IoError(errno_message("open for write", staging_));
   }
   buffer_.reserve(buffer_cap_);
 }
 
 OutputFile::~OutputFile() {
-  try {
-    close();
-  } catch (const Error&) {
-    // Destructors must not throw; callers that care call close() explicitly.
+  if (finalized_) {
+    return;
   }
+  // Reaching the destructor with a healthy, unclosed file means a caller
+  // forgot the mandatory close(); surface that in debug builds. During
+  // unwinding (or after a failed operation) rollback is the correct path.
+  assert((error_seen_ || std::uncaught_exceptions() > 0) &&
+         "OutputFile destroyed without close() or discard()");
+  discard();
 }
 
 void OutputFile::write(std::string_view data) {
@@ -122,17 +182,7 @@ void OutputFile::write(const void* data, size_t n) {
   // Large writes bypass the buffer to avoid an extra copy.
   if (n >= buffer_cap_) {
     flush();
-    size_t total = 0;
-    while (total < n) {
-      ssize_t put = ::write(fd_, p + total, n - total);
-      if (put < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        throw IoError(errno_message("write", path_));
-      }
-      total += static_cast<size_t>(put);
-    }
+    write_physical(p, n);
     return;
   }
   if (buffer_.size() + n > buffer_cap_) {
@@ -141,34 +191,120 @@ void OutputFile::write(const void* data, size_t n) {
   buffer_.append(p, n);
 }
 
-void OutputFile::flush() {
-  if (buffer_.empty()) {
-    return;
+void OutputFile::write_physical(const char* data, size_t n) {
+  if (io::IoPolicy::armed()) {
+    try {
+      io_consult(path_, io::Op::kWrite, "write", physical_bytes_, n);
+    } catch (...) {
+      error_seen_ = true;
+      throw;
+    }
   }
   size_t total = 0;
-  while (total < buffer_.size()) {
-    ssize_t put = ::write(fd_, buffer_.data() + total, buffer_.size() - total);
+  while (total < n) {
+    ssize_t put = ::write(fd_, data + total, n - total);
     if (put < 0) {
       if (errno == EINTR) {
         continue;
       }
-      throw IoError(errno_message("write", path_));
+      error_seen_ = true;
+      throw IoError(errno_message("write", staging_));
     }
     total += static_cast<size_t>(put);
   }
-  buffer_.clear();
+  physical_bytes_ += n;
+}
+
+void OutputFile::flush() {
+  if (buffer_.empty()) {
+    return;
+  }
+  // Swap out first so a throwing write leaves the buffer empty rather than
+  // double-writing the same bytes on a retried flush()/close().
+  std::string pending;
+  pending.swap(buffer_);
+  write_physical(pending.data(), pending.size());
+}
+
+void OutputFile::patch_at(uint64_t offset, std::string_view data) {
+  NGSX_CHECK_MSG(fd_ >= 0, "patch_at after close on " + path_);
+  flush();
+  NGSX_CHECK_MSG(offset + data.size() <= physical_bytes_,
+                 "patch_at beyond written extent of " + path_);
+  if (io::IoPolicy::armed()) {
+    try {
+      // request=0: patching rewrites existing bytes, so the file cannot
+      // grow past an ENOSPC byte limit here.
+      io_consult(path_, io::Op::kWrite, "write", offset, 0);
+    } catch (...) {
+      error_seen_ = true;
+      throw;
+    }
+  }
+  size_t total = 0;
+  while (total < data.size()) {
+    ssize_t put = ::pwrite(fd_, data.data() + total, data.size() - total,
+                           static_cast<off_t>(offset + total));
+    if (put < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      error_seen_ = true;
+      throw IoError(errno_message("pwrite", staging_));
+    }
+    total += static_cast<size_t>(put);
+  }
 }
 
 void OutputFile::close() {
-  if (fd_ < 0) {
+  if (finalized_) {
     return;
   }
-  flush();
-  if (::close(fd_) != 0) {
-    fd_ = -1;
-    throw IoError(errno_message("close", path_));
+  try {
+    flush();
+    if (commit_ == Commit::kAtomic) {
+      // Durability before visibility: the rename must never publish bytes
+      // the kernel could still lose.
+      if (io::IoPolicy::armed()) {
+        io_consult(path_, io::Op::kFsync, "fsync", physical_bytes_, 0);
+      }
+      if (::fsync(fd_) != 0) {
+        throw IoError(errno_message("fsync", staging_));
+      }
+    }
+    if (io::IoPolicy::armed()) {
+      io_consult(path_, io::Op::kClose, "close", physical_bytes_, 0);
+    }
+    int fd = std::exchange(fd_, -1);
+    if (::close(fd) != 0) {
+      throw IoError(errno_message("close", staging_));
+    }
+    if (commit_ == Commit::kAtomic) {
+      if (io::IoPolicy::armed()) {
+        io_consult(path_, io::Op::kRename, "rename", physical_bytes_, 0);
+      }
+      if (::rename(staging_.c_str(), path_.c_str()) != 0) {
+        throw IoError(errno_message("rename to", path_));
+      }
+    }
+  } catch (...) {
+    error_seen_ = true;
+    discard();
+    throw;
   }
-  fd_ = -1;
+  finalized_ = true;
+}
+
+void OutputFile::discard() noexcept {
+  if (finalized_) {
+    return;
+  }
+  finalized_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(staging_.c_str());
 }
 
 // ------------------------------------------------------------- free helpers

@@ -5,6 +5,14 @@
 // All on-disk integers in BAM/BGZF/BAMX/BAIX are little-endian regardless of
 // host endianness (SAM spec §4.1); these helpers make that explicit and keep
 // the format code free of casts.
+//
+// The file classes are also the system's fault boundary: every physical
+// operation consults the process-global io::IoPolicy (util/iopolicy.h), so
+// tests can inject short reads, ENOSPC, fsync/close failures and transient
+// errors deterministically. OutputFile defaults to *atomic commit*: bytes
+// land in "<path>.tmp.<pid>" and only a successful close() renames the file
+// into place, so a crash or error can never leave a partially written file
+// under its final name. See docs/ROBUSTNESS.md for the full contract.
 
 #pragma once
 
@@ -135,7 +143,10 @@ class InputFile {
   const std::string& path() const { return path_; }
 
   /// Reads up to `n` bytes at absolute `offset` into `buf`; returns the
-  /// number of bytes read (short only at EOF).
+  /// number of bytes read. Short returns happen only when the request
+  /// crosses EOF; a short read *inside* the known file extent (truncation
+  /// underneath us, or an injected short-read fault) throws IoError so a
+  /// reader can never mistake a damaged file for a complete one.
   size_t pread(void* buf, size_t n, uint64_t offset) const;
 
   /// Reads exactly `n` bytes at `offset`; throws IoError on short read.
@@ -151,9 +162,24 @@ class InputFile {
 };
 
 /// Buffered sequential file writer (append-only).
+///
+/// Commit::kAtomic (the default) makes the output crash-safe: bytes are
+/// written to "<path>.tmp.<pid>" and close() publishes them with
+/// flush + fsync + close + rename. Until close() succeeds, nothing is ever
+/// visible under the final name; on any failure (or on destruction without
+/// close()) the staging file is removed. Commit::kDirect writes `path`
+/// in place for callers that explicitly do not want the rename step.
 class OutputFile {
  public:
-  explicit OutputFile(const std::string& path, size_t buffer_bytes = 1 << 20);
+  enum class Commit { kDirect, kAtomic };
+
+  explicit OutputFile(const std::string& path, size_t buffer_bytes = 1 << 20,
+                      Commit commit = Commit::kAtomic);
+
+  /// Unclosed destruction is a rollback, not a commit: atomic-mode staging
+  /// files are unlinked (a crash mid-write leaves nothing behind). In
+  /// debug builds, destroying an OutputFile that saw no error without
+  /// calling close() or discard() trips an assert — close() is mandatory.
   ~OutputFile();
 
   OutputFile(const OutputFile&) = delete;
@@ -165,27 +191,50 @@ class OutputFile {
   /// Flushes the userspace buffer to the OS.
   void flush();
 
-  /// Flushes and closes; further writes are errors. Called by the destructor
-  /// if not called explicitly (destructor swallows errors; call close() when
-  /// you need them reported).
+  /// Overwrites already-written bytes at `offset` (flushes first). Used by
+  /// writers that finalize a header field (record counts) before commit,
+  /// so the patch lands in the staging file and the rename publishes a
+  /// complete, internally consistent file.
+  void patch_at(uint64_t offset, std::string_view data);
+
+  /// Flushes, fsyncs (atomic mode), closes, and renames the staging file
+  /// into place (atomic mode). Throws IoError on any failure — and in that
+  /// case removes the staging file first, so a failed close never leaks a
+  /// temp or a partial final file. Idempotent after success or failure.
   void close();
+
+  /// Abandons the output: closes the descriptor and removes the file
+  /// (staging or in-place). Never throws. Idempotent.
+  void discard() noexcept;
 
   /// Bytes written so far (including still-buffered bytes).
   uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Final destination path (what close() publishes).
   const std::string& path() const { return path_; }
 
+  /// Where bytes physically land before commit (equals path() in kDirect).
+  const std::string& staging_path() const { return staging_; }
+
  private:
+  void write_physical(const char* data, size_t n);
+
   int fd_ = -1;
   std::string buffer_;
   size_t buffer_cap_;
   uint64_t bytes_written_ = 0;
-  std::string path_;
+  uint64_t physical_bytes_ = 0;  // bytes handed to the OS (ENOSPC accounting)
+  std::string path_;     // final destination
+  std::string staging_;  // open file ( == path_ in kDirect mode)
+  Commit commit_;
+  bool finalized_ = false;   // close() or discard() completed
+  bool error_seen_ = false;  // a write/close failed; destructor stays quiet
 };
 
 /// Reads an entire file into a string. Throws IoError on failure.
 std::string read_file(const std::string& path);
 
-/// Writes `data` to `path`, replacing any existing contents.
+/// Writes `data` to `path`, replacing any existing contents atomically.
 void write_file(const std::string& path, std::string_view data);
 
 /// Returns the size of the file at `path` in bytes.

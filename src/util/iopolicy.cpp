@@ -1,0 +1,160 @@
+#include "util/iopolicy.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "util/common.h"
+
+namespace ngsx::io {
+
+std::atomic<int> IoPolicy::armed_{0};
+
+void backoff(int attempt) {
+  std::this_thread::sleep_for(std::chrono::microseconds(50ll << attempt));
+}
+
+std::string fault_message(const char* op_name, const std::string& path,
+                          int err) {
+  return std::string(op_name) + " '" + path + "': " + std::strerror(err) +
+         " [injected fault]";
+}
+
+IoPolicy& IoPolicy::instance() {
+  static IoPolicy policy;
+  return policy;
+}
+
+IoPolicy::IoPolicy() { load_env_rule(); }
+
+namespace {
+
+// Force singleton construction before main() when NGSX_IO_FAULT is set:
+// armed() deliberately never constructs the instance (it must stay one
+// relaxed load on the hot path), so the env rule needs an eager trigger.
+[[maybe_unused]] const bool g_env_rule_loaded = [] {
+  if (std::getenv("NGSX_IO_FAULT") != nullptr) {
+    IoPolicy::instance();
+    return true;
+  }
+  return false;
+}();
+
+}  // namespace
+
+namespace {
+
+Op parse_op(std::string_view s) {
+  if (s == "open") return Op::kOpen;
+  if (s == "read") return Op::kRead;
+  if (s == "write") return Op::kWrite;
+  if (s == "fsync") return Op::kFsync;
+  if (s == "close") return Op::kClose;
+  if (s == "rename") return Op::kRename;
+  throw UsageError("NGSX_IO_FAULT: unknown op '" + std::string(s) + "'");
+}
+
+FaultKind parse_kind(std::string_view s) {
+  if (s == "error") return FaultKind::kError;
+  if (s == "short") return FaultKind::kShortRead;
+  if (s == "enospc") return FaultKind::kEnospc;
+  if (s == "transient") return FaultKind::kTransient;
+  throw UsageError("NGSX_IO_FAULT: unknown kind '" + std::string(s) + "'");
+}
+
+}  // namespace
+
+void IoPolicy::load_env_rule() {
+  // NGSX_IO_FAULT="<path_substr>:<op>:<kind>:<arg>[:<errno>]" arms one rule
+  // at process scope so whole-binary smoke tests (CI's injected-ENOSPC
+  // ngsx_convert run) exercise the same machinery as the unit matrix.
+  // <arg> is after_ops for error/transient, bytes for enospc/short.
+  const char* env = std::getenv("NGSX_IO_FAULT");
+  if (env == nullptr || *env == '\0') {
+    return;
+  }
+  std::string spec(env);
+  std::vector<std::string> parts;
+  size_t at = 0;
+  while (at <= spec.size()) {
+    size_t colon = spec.find(':', at);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(at));
+      break;
+    }
+    parts.push_back(spec.substr(at, colon - at));
+    at = colon + 1;
+  }
+  if (parts.size() < 4 || parts.size() > 5) {
+    throw UsageError(
+        "NGSX_IO_FAULT must be <path_substr>:<op>:<kind>:<arg>[:<errno>]");
+  }
+  Fault fault;
+  fault.op = parse_op(parts[1]);
+  fault.kind = parse_kind(parts[2]);
+  uint64_t arg = std::strtoull(parts[3].c_str(), nullptr, 10);
+  if (fault.kind == FaultKind::kEnospc || fault.kind == FaultKind::kShortRead) {
+    fault.bytes = arg;
+  } else {
+    fault.after_ops = arg;
+  }
+  if (fault.kind == FaultKind::kTransient) {
+    fault.times = 2;  // absorbed by the retry policy unless errno says hard
+  }
+  fault.err = parts.size() == 5
+                  ? static_cast<int>(std::strtol(parts[4].c_str(), nullptr, 10))
+                  : (fault.kind == FaultKind::kEnospc ? ENOSPC : EIO);
+  inject(parts[0], fault);
+}
+
+void IoPolicy::inject(const std::string& path_substr, const Fault& fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(Rule{path_substr, fault, 0, 0});
+  armed_.store(1, std::memory_order_relaxed);
+}
+
+void IoPolicy::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+Decision IoPolicy::check(const std::string& path, Op op,
+                         uint64_t bytes_so_far, size_t request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Rule& rule : rules_) {
+    const Op rule_op = rule.fault.op;
+    const bool op_matches =
+        rule_op == op ||
+        (rule.fault.kind == FaultKind::kEnospc && op == Op::kWrite);
+    if (!op_matches || path.find(rule.substr) == std::string::npos) {
+      continue;
+    }
+    if (rule.fault.kind == FaultKind::kEnospc) {
+      if (bytes_so_far + request > rule.fault.bytes) {
+        return Decision{Decision::Action::kFail, ENOSPC, false, 0};
+      }
+      continue;
+    }
+    const uint64_t n = rule.seen++;
+    if (n < rule.fault.after_ops || rule.fired >= rule.fault.times) {
+      continue;
+    }
+    ++rule.fired;
+    switch (rule.fault.kind) {
+      case FaultKind::kError:
+        return Decision{Decision::Action::kFail, rule.fault.err, false, 0};
+      case FaultKind::kTransient:
+        return Decision{Decision::Action::kFail, rule.fault.err, true, 0};
+      case FaultKind::kShortRead:
+        return Decision{Decision::Action::kShort, 0, false, rule.fault.bytes};
+      case FaultKind::kEnospc:
+        break;  // handled above
+    }
+  }
+  return Decision{};
+}
+
+}  // namespace ngsx::io

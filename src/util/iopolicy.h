@@ -1,0 +1,128 @@
+// ngsx/util/iopolicy.h
+//
+// Deterministic I/O fault injection at the util/binio seam.
+//
+// Production NGS pipelines fail in ways unit inputs never exercise: short
+// reads from a truncated NFS file, ENOSPC halfway through a part file, a
+// close() that reports the deferred write error, a transient EAGAIN that a
+// retry would have absorbed. IoPolicy lets tests (and, via NGSX_IO_FAULT,
+// whole-binary smoke runs) inject exactly those failures at precise
+// per-path, per-operation-count offsets, so every converter's failure
+// behaviour — clean error propagation, atomic-commit rollback, no temp
+// leaks, byte-identical retry — is reproducible instead of theoretical.
+//
+// The hook lives inside InputFile/OutputFile (util/binio): every physical
+// operation consults the process-global policy before touching the kernel.
+// When no faults are installed the cost is one relaxed atomic load.
+// Injected failures carry an "[injected fault]" marker in the IoError
+// message so tests can assert the *first* injected error surfaces verbatim
+// through pipelines, rank threads, and CLI exit codes.
+//
+// See docs/ROBUSTNESS.md for the fault classes and the retry contract.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ngsx::io {
+
+/// Physical operations the policy can intercept. Writes are counted at the
+/// moment bytes move to the kernel (buffer flushes and large-write
+/// bypasses), matching where a real ENOSPC would strike.
+enum class Op : uint8_t { kOpen, kRead, kWrite, kFsync, kClose, kRename };
+
+enum class FaultKind : uint8_t {
+  /// The matching operation fails hard with `err` (sticky by default).
+  kError,
+  /// A matching read delivers at most `bytes` of the request, simulating a
+  /// file truncated underneath the reader.
+  kShortRead,
+  /// Writes fail with ENOSPC once the file would exceed `bytes` bytes.
+  kEnospc,
+  /// The operation fails with `err` for `times` consecutive attempts, then
+  /// succeeds — the class the bounded retry+backoff in binio must absorb.
+  kTransient,
+};
+
+struct Fault {
+  Op op = Op::kWrite;
+  FaultKind kind = FaultKind::kError;
+  /// Fire on the N-th matching operation (0-based); ignored by kEnospc.
+  uint64_t after_ops = 0;
+  /// kEnospc: bytes the file may hold; kShortRead: bytes delivered.
+  uint64_t bytes = 0;
+  /// errno reported by kError / kTransient (kEnospc always uses ENOSPC).
+  int err = 5;  // EIO
+  /// How many matching operations fail once triggered. Defaults to
+  /// "forever" (a fault stays until cleared); kTransient wants a small
+  /// finite count.
+  uint64_t times = ~0ull;
+};
+
+/// What the I/O layer should do for one physical operation.
+struct Decision {
+  enum class Action : uint8_t { kProceed, kFail, kShort };
+  Action action = Action::kProceed;
+  int err = 0;
+  bool transient = false;
+  uint64_t max_bytes = 0;  // kShort: deliver at most this many bytes
+};
+
+/// Maximum attempts for an operation failing with a transient error
+/// (1 initial + kMaxTransientRetries retries).
+constexpr int kMaxTransientRetries = 4;
+
+/// Exponential backoff before retry `attempt` (0-based): 50us << attempt.
+void backoff(int attempt);
+
+/// Builds the canonical message for an injected failure; binio wraps it in
+/// IoError. Ends with "[injected fault]" so tests can tell injected from
+/// organic failures.
+std::string fault_message(const char* op_name, const std::string& path,
+                          int err);
+
+/// Process-global fault registry. Thread-safe; rules match on a substring
+/// of the *final* path (so atomic-commit staging files ".tmp.<pid>" match
+/// the rule for their destination).
+class IoPolicy {
+ public:
+  static IoPolicy& instance();
+
+  /// Installs `fault` for every file whose final path contains
+  /// `path_substr`. Multiple rules coexist; the first rule that fires wins.
+  void inject(const std::string& path_substr, const Fault& fault);
+
+  /// Removes every rule ("the fault clears").
+  void clear();
+
+  /// Fast path gate: true iff any rule is installed anywhere in the
+  /// process. Callers skip check() entirely when unarmed.
+  static bool armed() { return armed_.load(std::memory_order_relaxed) != 0; }
+
+  /// Consults the policy for one physical operation. `bytes_so_far` is the
+  /// file's physical size before the operation (kEnospc), `request` the
+  /// operation's byte count. Counts the operation against matching rules.
+  Decision check(const std::string& path, Op op, uint64_t bytes_so_far,
+                 size_t request);
+
+ private:
+  IoPolicy();
+  void load_env_rule();
+
+  struct Rule {
+    std::string substr;
+    Fault fault;
+    uint64_t seen = 0;   // matching operations observed
+    uint64_t fired = 0;  // failures already delivered
+  };
+
+  static std::atomic<int> armed_;
+  std::mutex mu_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace ngsx::io

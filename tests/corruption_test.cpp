@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "formats/bai.h"
 #include "formats/bam.h"
@@ -13,6 +16,7 @@
 #include "formats/bamxz.h"
 #include "formats/sam.h"
 #include "simdata/readsim.h"
+#include "util/iopolicy.h"
 #include "util/rng.h"
 #include "util/tempdir.h"
 
@@ -275,6 +279,136 @@ TEST_P(CorruptionSeeds, SamGarbageLinesNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSeeds,
                          ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Atomic-commit path: killing a writer mid-stream with an injected hard
+// fault must leave nothing under the final name (and no staging leak), and
+// a clean re-run must reproduce the never-faulted file byte for byte.
+// ---------------------------------------------------------------------------
+
+/// Re-derives the corpus dataset (same seeds as Corpus).
+std::vector<AlignmentRecord> corpus_records(sam::SamHeader& header_out) {
+  auto genome = simdata::ReferenceGenome::simulate(
+      simdata::mouse_like_references(200000), 71);
+  auto records = simdata::simulate_alignments(
+      genome, 150, [] {
+        simdata::ReadSimConfig cfg;
+        cfg.seed = 71;
+        return cfg;
+      }());
+  header_out = genome.header();
+  return records;
+}
+
+void expect_no_staging_leak(const std::string& dir) {
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << "leaked staging file: " << entry.path();
+  }
+}
+
+TEST(AtomicCommit, KilledWritersLeaveNoFinalFileAndRerunIsByteIdentical) {
+  Corpus& c = corpus();
+  sam::SamHeader header;
+  auto records = corpus_records(header);
+  bamx::BamxLayout layout;
+  for (const auto& r : records) {
+    layout.accommodate(r);
+  }
+  TempDir tmp;
+
+  struct Format {
+    const char* name;
+    const std::string* reference;  // corpus file with identical bytes
+    std::function<void(const std::string&)> write;
+  };
+  std::vector<Format> formats = {
+      {"sam", &c.sam_path,
+       [&](const std::string& p) {
+         sam::SamFileWriter w(p, header);
+         for (const auto& r : records) {
+           w.write(r);
+         }
+         w.close();
+       }},
+      {"bam", &c.bam_path,
+       [&](const std::string& p) {
+         bam::BamFileWriter w(p, header);
+         for (const auto& r : records) {
+           w.write(r);
+         }
+         w.close();
+       }},
+      {"bamx", &c.bamx_path,
+       [&](const std::string& p) {
+         bamx::BamxWriter w(p, header, layout);
+         for (const auto& r : records) {
+           w.write(r);
+         }
+         w.close();
+       }},
+      {"bamxz", &c.bamxz_path,
+       [&](const std::string& p) {
+         bamxz::BamxzWriter w(p, header, layout, 32);
+         for (const auto& r : records) {
+           w.write(r);
+         }
+         w.close();
+       }},
+  };
+
+  for (const Format& fmt : formats) {
+    SCOPED_TRACE(fmt.name);
+    const std::string path = tmp.file(std::string("kill.") + fmt.name);
+    {
+      io::Fault fault;
+      fault.op = io::Op::kWrite;
+      fault.kind = io::FaultKind::kError;
+      io::IoPolicy::instance().inject(path, fault);
+      EXPECT_THROW(fmt.write(path), Error);
+      io::IoPolicy::instance().clear();
+    }
+    EXPECT_FALSE(std::filesystem::exists(path))
+        << "partial file observable under its final name";
+    expect_no_staging_leak(tmp.path());
+    // The fault cleared: the identical call now succeeds, byte-identically
+    // to the never-faulted corpus file.
+    fmt.write(path);
+    EXPECT_EQ(read_file(path), read_file(*fmt.reference));
+  }
+}
+
+TEST(AtomicCommit, EnospcMidStreamRollsBackCompressedWriters) {
+  // ENOSPC strikes while compressed payload is moving to the kernel (not
+  // at close): larger dataset so BGZF/BAMXZ cross their buffer thresholds.
+  sam::SamHeader header;
+  auto records = corpus_records(header);
+  TempDir tmp;
+  const std::string path = tmp.file("enospc.bam");
+  {
+    io::Fault fault;
+    fault.op = io::Op::kWrite;
+    fault.kind = io::FaultKind::kEnospc;
+    fault.bytes = 512;  // far below the compressed stream size
+    io::IoPolicy::instance().inject(path, fault);
+    EXPECT_THROW(
+        [&] {
+          bam::BamFileWriter w(path, header);
+          for (int round = 0; round < 50; ++round) {
+            for (const auto& r : records) {
+              w.write(r);
+            }
+          }
+          w.close();
+        }(),
+        Error);
+    io::IoPolicy::instance().clear();
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  expect_no_staging_leak(tmp.path());
+}
 
 TEST(Corruption, TotallyRandomBytesRejectedEverywhere) {
   TempDir tmp;

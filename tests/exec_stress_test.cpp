@@ -277,5 +277,170 @@ TEST(PipelineStress, ManyProducersOneOrderedSink) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Error propagation: a worker that throws must surface its error to the
+// caller without deadlocking the remaining workers — the contract the
+// fault-injection layer (docs/ROBUSTNESS.md) leans on end-to-end.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineErrors, TransformErrorPropagatesWithoutDeadlock) {
+  Pool pool(4);
+  constexpr uint64_t kItems = 2000;
+  constexpr uint64_t kPoison = 700;
+  for (int round = 0; round < 5; ++round) {
+    uint64_t produced = 0;
+    try {
+      ordered_pipeline<uint64_t, uint64_t>(
+          pool,
+          [&](uint64_t& item) {
+            if (produced >= kItems) {
+              return false;
+            }
+            item = produced++;
+            return true;
+          },
+          [](uint64_t&& item, uint64_t) {
+            if (item == kPoison) {
+              throw IoError("poisoned transform " + std::to_string(item));
+            }
+            return item * 2;
+          },
+          [](uint64_t&&, uint64_t) {},
+          PipelineOptions{});
+      FAIL() << "transform error was swallowed";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("poisoned transform"),
+                std::string::npos);
+    }
+  }
+  // The pool survived five failed pipelines: still fully functional.
+  std::atomic<uint64_t> sum{0};
+  parallel_for(pool, 0, 1000, 1,
+               [&](uint64_t b, uint64_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 1000u);
+}
+
+TEST(PipelineErrors, SinkErrorPropagatesWithoutDeadlock) {
+  Pool pool(4);
+  constexpr uint64_t kItems = 2000;
+  uint64_t produced = 0;
+  uint64_t committed = 0;
+  try {
+    ordered_pipeline<uint64_t, uint64_t>(
+        pool,
+        [&](uint64_t& item) {
+          if (produced >= kItems) {
+            return false;
+          }
+          item = produced++;
+          return true;
+        },
+        [](uint64_t&& item, uint64_t) { return item; },
+        [&](uint64_t&& item, uint64_t) {
+          if (item == 137) {
+            throw IoError("poisoned sink");
+          }
+          ++committed;
+        },
+        PipelineOptions{});
+    FAIL() << "sink error was swallowed";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("poisoned sink"), std::string::npos);
+  }
+  // Order guarantee holds right up to the failure point.
+  EXPECT_EQ(committed, 137u);
+}
+
+TEST(PipelineErrors, SourceErrorPropagatesWithoutDeadlock) {
+  Pool pool(4);
+  uint64_t produced = 0;
+  EXPECT_THROW(
+      (ordered_pipeline<uint64_t, uint64_t>(
+          pool,
+          [&](uint64_t& item) {
+            if (produced == 99) {
+              throw IoError("poisoned source");
+            }
+            item = produced++;
+            return true;
+          },
+          [](uint64_t&& item, uint64_t) { return item; },
+          [](uint64_t&&, uint64_t) {}, PipelineOptions{})),
+      IoError);
+}
+
+TEST(PipelineErrors, PushPipelineReportsWorkerErrorToProducer) {
+  Pool pool(4);
+  PipelineOptions opt;
+  opt.workers = 4;
+  Pipeline<uint64_t, uint64_t> pipe(
+      pool,
+      [](uint64_t&& item) {
+        if (item == 50) {
+          throw IoError("poisoned push transform");
+        }
+        return item;
+      },
+      [](uint64_t&&) {}, opt);
+  // The error must surface from push() (backpressure path) or finish() —
+  // and must not hang either one.
+  try {
+    for (uint64_t i = 0; i < 10000; ++i) {
+      pipe.push(i);
+    }
+    pipe.finish();
+    FAIL() << "worker error was swallowed";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("poisoned push transform"),
+              std::string::npos);
+  }
+}
+
+TEST(ParallelForErrors, BodyErrorPropagatesAndStopsSiblings) {
+  Pool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<uint64_t> executed{0};
+    try {
+      parallel_for(pool, 0, 100000, 1, [&](uint64_t b, uint64_t) {
+        if (b == 1000) {
+          throw IoError("poisoned chunk");
+        }
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+      FAIL() << "parallel_for swallowed the body error";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("poisoned chunk"),
+                std::string::npos);
+    }
+    // Early exit: siblings stop claiming chunks once the group has failed.
+    // Without the failed() check every non-poison chunk would run (exactly
+    // 99999); any smaller count proves chunks were skipped. (No tighter
+    // bound: under sanitizers the scheduler decides how many chunks the
+    // siblings claim before the poison chunk's error is recorded.)
+    EXPECT_LT(executed.load(), 99999u)
+        << "siblings kept grinding after the failure";
+  }
+}
+
+TEST(TaskGroupErrors, FirstErrorWinsAndGroupReportsFailed) {
+  Pool pool(4);
+  TaskGroup group(pool);
+  EXPECT_FALSE(group.failed());
+  for (int i = 0; i < 64; ++i) {
+    group.spawn([i] {
+      if (i % 8 == 3) {
+        throw IoError("task " + std::to_string(i));
+      }
+    });
+  }
+  try {
+    group.wait();
+    FAIL() << "task errors were swallowed";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("task "), std::string::npos);
+  }
+  EXPECT_TRUE(group.failed());
+}
+
 }  // namespace
 }  // namespace ngsx::exec

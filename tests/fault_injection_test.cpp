@@ -1,0 +1,575 @@
+// Failure matrix for the IoPolicy fault-injection layer (docs/ROBUSTNESS.md):
+// for each converter × target format × {static,dynamic} schedule × {1,8}
+// BGZF decode threads, inject each fault class at several operation offsets
+// and assert the four robustness invariants:
+//
+//   1. the converter returns a clean ngsx::Error carrying the injected
+//      failure (no abort, no hang, no false success);
+//   2. no partially written file is ever observable under a final output
+//      name — anything that exists with a final name is byte-identical to
+//      the never-faulted run's file of the same name;
+//   3. no ".tmp." staging file is leaked anywhere;
+//   4. after the fault clears, a re-run produces byte-identical outputs to
+//      the never-faulted run (and transient faults within the retry budget
+//      succeed on the *first* run, also byte-identically).
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/convert.h"
+#include "formats/bam.h"
+#include "formats/sam.h"
+#include "simdata/readsim.h"
+#include "util/binio.h"
+#include "util/iopolicy.h"
+#include "util/tempdir.h"
+
+namespace ngsx {
+namespace {
+
+namespace fs = std::filesystem;
+using core::ConvertOptions;
+using core::Schedule;
+using core::TargetFormat;
+
+/// Clears every injected rule on scope exit so a failing assertion cannot
+/// poison later iterations (or the TempDir destructor's cleanup I/O).
+struct FaultScope {
+  FaultScope(const std::string& substr, const io::Fault& fault) {
+    io::IoPolicy::instance().inject(substr, fault);
+  }
+  ~FaultScope() { io::IoPolicy::instance().clear(); }
+};
+
+io::Fault make_fault(io::Op op, io::FaultKind kind, uint64_t arg,
+                     uint64_t times = ~0ull) {
+  io::Fault f;
+  f.op = op;
+  f.kind = kind;
+  if (kind == io::FaultKind::kEnospc || kind == io::FaultKind::kShortRead) {
+    f.bytes = arg;
+  } else {
+    f.after_ops = arg;
+  }
+  f.err = kind == io::FaultKind::kEnospc ? ENOSPC : EIO;
+  f.times = times;
+  return f;
+}
+
+/// One injected failure plus the message fragment it must surface.
+struct FaultCase {
+  std::string name;
+  io::Fault fault;
+  std::string expect;  // required substring of the thrown Error
+};
+
+/// The write-side fault classes, at operation offsets {0, 1}. Offset 1
+/// needs at least two matching physical operations, which every multi-part
+/// conversion provides (>= 2 part files, each flushed at least once).
+std::vector<FaultCase> write_fault_cases(bool multi_op) {
+  std::vector<FaultCase> cases;
+  std::vector<uint64_t> offsets = multi_op ? std::vector<uint64_t>{0, 1}
+                                           : std::vector<uint64_t>{0};
+  for (uint64_t at : offsets) {
+    std::string suffix = "@" + std::to_string(at);
+    cases.push_back({"write-error" + suffix,
+                     make_fault(io::Op::kWrite, io::FaultKind::kError, at),
+                     "[injected fault]"});
+    cases.push_back({"fsync-fail" + suffix,
+                     make_fault(io::Op::kFsync, io::FaultKind::kError, at),
+                     "[injected fault]"});
+    cases.push_back({"close-fail" + suffix,
+                     make_fault(io::Op::kClose, io::FaultKind::kError, at),
+                     "[injected fault]"});
+    cases.push_back({"rename-fail" + suffix,
+                     make_fault(io::Op::kRename, io::FaultKind::kError, at),
+                     "[injected fault]"});
+    // A transient that never clears: the bounded retry must give up and
+    // surface the error instead of spinning. (A finite `times` is covered
+    // by the absorbed-transient tests; here every retry fails.)
+    cases.push_back({"transient-exhausted" + suffix,
+                     make_fault(io::Op::kWrite, io::FaultKind::kTransient, at),
+                     "[injected fault]"});
+  }
+  cases.push_back({"enospc@64",
+                   make_fault(io::Op::kWrite, io::FaultKind::kEnospc, 64),
+                   "No space left on device [injected fault]"});
+  return cases;
+}
+
+/// The read-side fault classes. Short reads surface as the reader's own
+/// truncation error (binio refuses to pass a mid-file short read off as
+/// EOF), so they assert on "short read" rather than the injection marker.
+std::vector<FaultCase> read_fault_cases() {
+  std::vector<FaultCase> cases;
+  for (uint64_t at : {uint64_t{0}, uint64_t{1}}) {
+    std::string suffix = "@" + std::to_string(at);
+    cases.push_back({"read-error" + suffix,
+                     make_fault(io::Op::kRead, io::FaultKind::kError, at),
+                     "[injected fault]"});
+    cases.push_back(
+        {"read-transient-exhausted" + suffix,
+         make_fault(io::Op::kRead, io::FaultKind::kTransient, at),
+         "[injected fault]"});
+  }
+  // A short read inside the file's extent surfaces as binio's "short read"
+  // IoError; one that lands where the request crosses EOF is legitimately
+  // indistinguishable from a truncated file, and the format layer reports
+  // it as its own truncation error instead (e.g. the SAM header scanner's
+  // line-too-long guard). Either way it must be a clean ngsx::Error, so
+  // this case only pins the error type, not the message.
+  cases.push_back({"short-read@3",
+                   make_fault(io::Op::kRead, io::FaultKind::kShortRead, 3),
+                   ""});
+  return cases;
+}
+
+/// Simulated dataset shared by every test in this binary.
+struct Dataset {
+  TempDir tmp;
+  std::string sam_path;
+  std::string bam_path;
+  sam::SamHeader header;
+
+  Dataset() {
+    auto genome = simdata::ReferenceGenome::simulate(
+        simdata::mouse_like_references(200000), 71);
+    simdata::ReadSimConfig cfg;
+    cfg.seed = 71;
+    auto records = simdata::simulate_alignments(genome, 150, cfg);
+    header = genome.header();
+    sam_path = tmp.file("in.sam");
+    bam_path = tmp.file("in.bam");
+    sam::SamFileWriter sw(sam_path, header);
+    bam::BamFileWriter bw(bam_path, header);
+    for (const auto& r : records) {
+      sw.write(r);
+      bw.write(r);
+    }
+    sw.close();
+    bw.close();
+  }
+};
+
+Dataset& dataset() {
+  static Dataset d;
+  return d;
+}
+
+/// Snapshot of a directory tree: relative path -> file bytes.
+std::map<std::string, std::string> snapshot(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  if (!fs::exists(dir)) {
+    return files;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      std::string rel = fs::relative(entry.path(), dir).string();
+      files[rel] = read_file(entry.path().string());
+    }
+  }
+  return files;
+}
+
+/// Invariant 3: no staging file may survive anywhere under `dir`.
+void expect_no_temp_leaks(const std::string& dir) {
+  if (!fs::exists(dir)) {
+    return;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << "leaked staging file: " << entry.path();
+  }
+}
+
+/// Invariant 2: everything under a final name in `dir` must be a complete
+/// file — byte-identical to the clean run's file of the same name.
+void expect_outputs_complete(const std::string& dir,
+                             const std::map<std::string, std::string>& clean) {
+  for (const auto& [rel, bytes] : snapshot(dir)) {
+    auto it = clean.find(rel);
+    ASSERT_NE(it, clean.end()) << "unexpected output file: " << rel;
+    EXPECT_EQ(bytes, it->second)
+        << "partial file observable under final name: " << rel;
+  }
+}
+
+void expect_identical(const std::map<std::string, std::string>& got,
+                      const std::map<std::string, std::string>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [rel, bytes] : want) {
+    auto it = got.find(rel);
+    ASSERT_NE(it, got.end()) << "missing output file: " << rel;
+    EXPECT_EQ(it->second, bytes) << "retry output differs: " << rel;
+  }
+}
+
+/// Runs `fn` (a full conversion into `dir`) expecting the injected error,
+/// then checks invariants 1-3 against the clean snapshot.
+template <typename Fn>
+void expect_fault(const FaultCase& fc, const std::string& substr,
+                  const std::string& dir, Fn&& fn,
+                  const std::map<std::string, std::string>& clean) {
+  SCOPED_TRACE(fc.name);
+  fs::create_directories(dir);
+  {
+    FaultScope scope(substr, fc.fault);
+    try {
+      fn();
+      FAIL() << "conversion succeeded despite injected fault " << fc.name;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(fc.expect), std::string::npos)
+          << "error message '" << e.what() << "' lacks '" << fc.expect << "'";
+    }
+  }
+  expect_no_temp_leaks(dir);
+  expect_outputs_complete(dir, clean);
+}
+
+/// Test axis: (schedule, BGZF decode threads).
+class FaultMatrix
+    : public ::testing::TestWithParam<std::tuple<Schedule, int>> {
+ protected:
+  Schedule schedule() const { return std::get<0>(GetParam()); }
+  int decode_threads() const { return std::get<1>(GetParam()); }
+
+  ConvertOptions options(TargetFormat format) const {
+    ConvertOptions opt;
+    opt.format = format;
+    opt.ranks = 2;
+    opt.schedule = schedule();
+    opt.decode_threads = decode_threads();
+    return opt;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, FaultMatrix,
+    ::testing::Combine(::testing::Values(Schedule::kStatic,
+                                         Schedule::kDynamic),
+                       ::testing::Values(1, 8)),
+    [](const auto& info) {
+      return std::string(core::schedule_name(std::get<0>(info.param))) +
+             "_decode" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// 1. SAM format converter.
+// ---------------------------------------------------------------------------
+
+TEST_P(FaultMatrix, ConvertSamSurvivesEveryFaultClass) {
+  Dataset& d = dataset();
+  for (TargetFormat format : {TargetFormat::kBed, TargetFormat::kBam}) {
+    SCOPED_TRACE(core::target_format_name(format));
+    ConvertOptions opt = options(format);
+    TempDir tmp("faultsam");
+    const std::string clean_dir = tmp.subdir("clean");
+    core::convert_sam(d.sam_path, clean_dir, opt);
+    auto clean = snapshot(clean_dir);
+
+    int i = 0;
+    for (const FaultCase& fc : write_fault_cases(/*multi_op=*/true)) {
+      const std::string dir = tmp.subdir("w" + std::to_string(i++));
+      expect_fault(fc, "part-", dir,
+                   [&] { core::convert_sam(d.sam_path, dir, opt); }, clean);
+      // Invariant 4: the fault cleared; the same run now succeeds and is
+      // byte-identical to the never-faulted run.
+      auto retry = snapshot(dir);
+      core::convert_sam(d.sam_path, dir, opt);
+      expect_identical(snapshot(dir), clean);
+    }
+    i = 0;
+    for (const FaultCase& fc : read_fault_cases()) {
+      const std::string dir = tmp.subdir("r" + std::to_string(i++));
+      expect_fault(fc, "in.sam", dir,
+                   [&] { core::convert_sam(d.sam_path, dir, opt); }, clean);
+      core::convert_sam(d.sam_path, dir, opt);
+      expect_identical(snapshot(dir), clean);
+    }
+  }
+}
+
+TEST_P(FaultMatrix, ConvertSamAbsorbsTransientFaultsWithinBudget) {
+  Dataset& d = dataset();
+  ConvertOptions opt = options(TargetFormat::kBed);
+  TempDir tmp("faulttransient");
+  const std::string clean_dir = tmp.subdir("clean");
+  core::convert_sam(d.sam_path, clean_dir, opt);
+  auto clean = snapshot(clean_dir);
+
+  {
+    // Two consecutive write failures: within the retry budget, so the run
+    // must succeed — and byte-identically, since retried writes must not
+    // duplicate or drop buffered bytes.
+    const std::string dir = tmp.subdir("w");
+    FaultScope scope("part-", make_fault(io::Op::kWrite,
+                                         io::FaultKind::kTransient, 0,
+                                         /*times=*/2));
+    core::convert_sam(d.sam_path, dir, opt);
+    expect_identical(snapshot(dir), clean);
+  }
+  {
+    const std::string dir = tmp.subdir("r");
+    FaultScope scope("in.sam", make_fault(io::Op::kRead,
+                                          io::FaultKind::kTransient, 0,
+                                          /*times=*/2));
+    core::convert_sam(d.sam_path, dir, opt);
+    expect_identical(snapshot(dir), clean);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. BAM format converter (preprocess + parallel conversion).
+// ---------------------------------------------------------------------------
+
+TEST_P(FaultMatrix, PreprocessBamSurvivesWriteAndReadFaults) {
+  Dataset& d = dataset();
+  TempDir tmp("faultprep");
+  const std::string clean_dir = tmp.subdir("clean");
+  core::preprocess_bam(d.bam_path, clean_dir + "/x.bamx", clean_dir + "/x.baix",
+                       decode_threads());
+  auto clean = snapshot(clean_dir);
+
+  int i = 0;
+  for (const FaultCase& fc : write_fault_cases(/*multi_op=*/true)) {
+    const std::string dir = tmp.subdir("w" + std::to_string(i++));
+    // "/x." matches both the BAMX and BAIX destinations.
+    expect_fault(fc, "/x.", dir,
+                 [&] {
+                   core::preprocess_bam(d.bam_path, dir + "/x.bamx",
+                                        dir + "/x.baix", decode_threads());
+                 },
+                 clean);
+    core::preprocess_bam(d.bam_path, dir + "/x.bamx", dir + "/x.baix",
+                         decode_threads());
+    expect_identical(snapshot(dir), clean);
+  }
+  i = 0;
+  for (const FaultCase& fc : read_fault_cases()) {
+    const std::string dir = tmp.subdir("r" + std::to_string(i++));
+    expect_fault(fc, "in.bam", dir,
+                 [&] {
+                   core::preprocess_bam(d.bam_path, dir + "/x.bamx",
+                                        dir + "/x.baix", decode_threads());
+                 },
+                 clean);
+    core::preprocess_bam(d.bam_path, dir + "/x.bamx", dir + "/x.baix",
+                         decode_threads());
+    expect_identical(snapshot(dir), clean);
+  }
+}
+
+TEST_P(FaultMatrix, ConvertBamxSurvivesEveryFaultClass) {
+  Dataset& d = dataset();
+  TempDir tmp("faultbamx");
+  const std::string bamx = tmp.file("x.bamx");
+  const std::string baix = tmp.file("x.baix");
+  core::preprocess_bam(d.bam_path, bamx, baix, decode_threads());
+
+  for (TargetFormat format : {TargetFormat::kBed, TargetFormat::kBam}) {
+    SCOPED_TRACE(core::target_format_name(format));
+    ConvertOptions opt = options(format);
+    const std::string clean_dir = tmp.subdir(
+        std::string("clean-") + std::string(core::target_format_name(format)));
+    core::convert_bamx(bamx, baix, clean_dir, opt);
+    auto clean = snapshot(clean_dir);
+
+    int i = 0;
+    std::string tag(core::target_format_name(format));
+    for (const FaultCase& fc : write_fault_cases(/*multi_op=*/true)) {
+      const std::string dir = tmp.subdir(tag + "-w" + std::to_string(i++));
+      expect_fault(fc, "part-", dir,
+                   [&] { core::convert_bamx(bamx, baix, dir, opt); }, clean);
+      core::convert_bamx(bamx, baix, dir, opt);
+      expect_identical(snapshot(dir), clean);
+    }
+    i = 0;
+    for (const FaultCase& fc : read_fault_cases()) {
+      const std::string dir = tmp.subdir(tag + "-r" + std::to_string(i++));
+      expect_fault(fc, "x.bamx", dir,
+                   [&] { core::convert_bamx(bamx, baix, dir, opt); }, clean);
+      core::convert_bamx(bamx, baix, dir, opt);
+      expect_identical(snapshot(dir), clean);
+    }
+  }
+}
+
+TEST_P(FaultMatrix, ConvertBamSequentialSurvivesEveryFaultClass) {
+  Dataset& d = dataset();
+  TempDir tmp("faultseq");
+  for (TargetFormat format : {TargetFormat::kBed, TargetFormat::kBam}) {
+    SCOPED_TRACE(core::target_format_name(format));
+    std::string ext(core::target_extension(format));
+    const std::string clean_dir = tmp.subdir(
+        std::string("clean-") + std::string(core::target_format_name(format)));
+    core::convert_bam_sequential(d.bam_path, clean_dir + "/seq" + ext, format,
+                                 decode_threads());
+    auto clean = snapshot(clean_dir);
+
+    int i = 0;
+    std::string tag(core::target_format_name(format));
+    // Single output file => only offset-0 write faults can fire.
+    for (const FaultCase& fc : write_fault_cases(/*multi_op=*/false)) {
+      const std::string dir = tmp.subdir(tag + "-w" + std::to_string(i++));
+      const std::string out = dir + "/seq" + ext;
+      expect_fault(fc, "/seq", dir,
+                   [&] {
+                     core::convert_bam_sequential(d.bam_path, out, format,
+                                                  decode_threads());
+                   },
+                   clean);
+      core::convert_bam_sequential(d.bam_path, out, format, decode_threads());
+      expect_identical(snapshot(dir), clean);
+    }
+    i = 0;
+    for (const FaultCase& fc : read_fault_cases()) {
+      const std::string dir = tmp.subdir(tag + "-r" + std::to_string(i++));
+      const std::string out = dir + "/seq" + ext;
+      expect_fault(fc, "in.bam", dir,
+                   [&] {
+                     core::convert_bam_sequential(d.bam_path, out, format,
+                                                  decode_threads());
+                   },
+                   clean);
+      core::convert_bam_sequential(d.bam_path, out, format, decode_threads());
+      expect_identical(snapshot(dir), clean);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Preprocessing-optimized SAM format converter (M x N shards).
+// ---------------------------------------------------------------------------
+
+TEST_P(FaultMatrix, ShardedConverterSurvivesFaultsInBothPhases) {
+  Dataset& d = dataset();
+  ConvertOptions opt = options(TargetFormat::kBed);
+  TempDir tmp("faultshard");
+
+  const std::string clean_pre = tmp.subdir("clean-pre");
+  auto pre = core::preprocess_sam_parallel(d.sam_path, clean_pre, 2);
+  auto clean_shards = snapshot(clean_pre);
+  const std::string clean_conv = tmp.subdir("clean-conv");
+  core::convert_bamx_shards(pre.bamx_paths, clean_conv, opt);
+  auto clean_parts = snapshot(clean_conv);
+
+  // Phase 1 faults: shard writers.
+  int i = 0;
+  for (const FaultCase& fc : write_fault_cases(/*multi_op=*/true)) {
+    const std::string dir = tmp.subdir("pre" + std::to_string(i++));
+    expect_fault(fc, "shard-", dir,
+                 [&] { core::preprocess_sam_parallel(d.sam_path, dir, 2); },
+                 clean_shards);
+    core::preprocess_sam_parallel(d.sam_path, dir, 2);
+    expect_identical(snapshot(dir), clean_shards);
+  }
+
+  // Phase 2 faults: part writers and shard readers.
+  i = 0;
+  for (const FaultCase& fc : write_fault_cases(/*multi_op=*/true)) {
+    const std::string dir = tmp.subdir("conv" + std::to_string(i++));
+    expect_fault(fc, "part-", dir,
+                 [&] { core::convert_bamx_shards(pre.bamx_paths, dir, opt); },
+                 clean_parts);
+    core::convert_bamx_shards(pre.bamx_paths, dir, opt);
+    expect_identical(snapshot(dir), clean_parts);
+  }
+  i = 0;
+  for (const FaultCase& fc : read_fault_cases()) {
+    const std::string dir = tmp.subdir("convr" + std::to_string(i++));
+    expect_fault(fc, ".bamx", dir,
+                 [&] { core::convert_bamx_shards(pre.bamx_paths, dir, opt); },
+                 clean_parts);
+    core::convert_bamx_shards(pre.bamx_paths, dir, opt);
+    expect_identical(snapshot(dir), clean_parts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct OutputFile contract checks (not converter-mediated).
+// ---------------------------------------------------------------------------
+
+TEST(OutputFileAtomicCommit, CloseFailureRemovesStagingAndFinal) {
+  TempDir tmp("atomic");
+  const std::string path = tmp.file("out.bin");
+  for (io::Op op : {io::Op::kWrite, io::Op::kFsync, io::Op::kClose,
+                    io::Op::kRename}) {
+    FaultScope scope("out.bin",
+                     make_fault(op, io::FaultKind::kError, 0));
+    OutputFile out(path);
+    out.write("hello world");
+    EXPECT_THROW(out.close(), IoError);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(out.staging_path()));
+    // close() after a failure is a no-op, not a second throw.
+    out.close();
+  }
+}
+
+TEST(OutputFileAtomicCommit, DiscardedWriterLeavesNothing) {
+  TempDir tmp("atomic");
+  const std::string path = tmp.file("out.bin");
+  {
+    OutputFile out(path);
+    out.write("abandoned bytes");
+    out.flush();
+    EXPECT_TRUE(fs::exists(out.staging_path()));
+    out.discard();
+    EXPECT_FALSE(fs::exists(out.staging_path()));
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(OutputFileAtomicCommit, SuccessfulClosePublishesExactBytes) {
+  TempDir tmp("atomic");
+  const std::string path = tmp.file("out.bin");
+  OutputFile out(path);
+  out.write("published");
+  EXPECT_FALSE(fs::exists(path)) << "visible before close()";
+  out.close();
+  EXPECT_EQ(read_file(path), "published");
+  EXPECT_FALSE(fs::exists(out.staging_path()));
+}
+
+TEST(OutputFileAtomicCommit, PatchAtLandsBeforeCommit) {
+  TempDir tmp("atomic");
+  const std::string path = tmp.file("out.bin");
+  OutputFile out(path);
+  out.write("AAAABBBB");
+  out.patch_at(0, "XY");
+  out.close();
+  EXPECT_EQ(read_file(path), "XYAABBBB");
+}
+
+TEST(InputFileShortRead, MidFileShortReadThrowsInsteadOfTruncating) {
+  TempDir tmp("shortread");
+  const std::string path = tmp.file("in.bin");
+  write_file(path, std::string(1024, 'x'));
+  InputFile in(path);
+  FaultScope scope("in.bin",
+                   make_fault(io::Op::kRead, io::FaultKind::kShortRead, 16));
+  char buf[256];
+  EXPECT_THROW(in.pread(buf, sizeof(buf), 0), IoError);
+}
+
+TEST(InputFileTransient, RetryAbsorbsTransientReadErrors) {
+  TempDir tmp("transient");
+  const std::string path = tmp.file("in.bin");
+  write_file(path, "transient payload");
+  InputFile in(path);
+  FaultScope scope("in.bin", make_fault(io::Op::kRead,
+                                        io::FaultKind::kTransient, 0,
+                                        /*times=*/io::kMaxTransientRetries));
+  char buf[17];
+  ASSERT_EQ(in.pread(buf, sizeof(buf), 0), sizeof(buf));
+  EXPECT_EQ(std::string(buf, sizeof(buf)), "transient payload");
+}
+
+}  // namespace
+}  // namespace ngsx

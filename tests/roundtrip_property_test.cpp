@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "formats/bam.h"
 #include "formats/bamx.h"
 #include "formats/bamxz.h"
 #include "formats/sam.h"
 #include "testutil.h"
+#include "util/iopolicy.h"
 #include "util/tempdir.h"
 
 namespace ngsx {
@@ -221,6 +224,54 @@ TEST_P(RoundTripSeeds, BamxzFile) {
     r.read(i, rec);
     ASSERT_EQ(rec, records[i]) << "record " << i;
   }
+}
+
+TEST_P(RoundTripSeeds, AtomicCommitKilledWriterRerunsByteIdentical) {
+  // Property over random datasets: kill the BAMX writer's commit with an
+  // injected hard fault (the faulted operation rotates with the seed),
+  // verify nothing is observable under the final name, then re-run and
+  // require the exact bytes of a never-faulted write.
+  SamHeader header = property_header();
+  Rng rng(GetParam() + 7000);
+  std::vector<AlignmentRecord> records;
+  bamx::BamxLayout layout;
+  for (int i = 0; i < 150; ++i) {
+    records.push_back(testutil::random_record(rng, header));
+    layout.accommodate(records.back());
+  }
+  TempDir tmp;
+  auto write_all = [&](const std::string& path) {
+    bamx::BamxWriter w(path, header, layout);
+    for (const auto& r : records) {
+      w.write(r);
+    }
+    w.close();
+  };
+
+  const std::string clean = tmp.file("clean.bamx");
+  write_all(clean);
+  const std::string reference = read_file(clean);
+
+  const io::Op ops[] = {io::Op::kWrite, io::Op::kFsync, io::Op::kClose,
+                        io::Op::kRename};
+  const std::string path = tmp.file("killed.bamx");
+  {
+    io::Fault fault;
+    fault.op = ops[GetParam() % 4];
+    fault.kind = io::FaultKind::kError;
+    io::IoPolicy::instance().inject(path, fault);
+    EXPECT_THROW(write_all(path), IoError);
+    io::IoPolicy::instance().clear();
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  for (const auto& entry :
+       std::filesystem::directory_iterator(tmp.path())) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << "leaked staging file: " << entry.path();
+  }
+  write_all(path);
+  EXPECT_EQ(read_file(path), reference);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSeeds,
