@@ -26,6 +26,7 @@
 
 #include "formats/bgzf.h"
 #include "formats/bgzf_parallel.h"
+#include "obs/metrics.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/tempdir.h"
@@ -77,6 +78,11 @@ int main(int argc, char** argv) {
   const size_t mb = static_cast<size_t>(args.get_int("mb", 64));
   const std::string json_path = args.get("json", "BENCH_decode.json");
   const int repeats = static_cast<int>(args.get_int("repeats", 3));
+
+  // The observability layer runs armed for the whole benchmark so the
+  // emitted JSON carries the bgzf/io counters alongside the throughput
+  // numbers (the "obs" section below).
+  obs::enable_metrics();
 
   TempDir tmp("bench_decode");
   const std::string path = tmp.file("input.bgzf");
@@ -200,7 +206,10 @@ int main(int argc, char** argv) {
                  modeled_mbps[i] / modeled_mbps.front(),
                  i + 1 < model_threads.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Full ngsx.metrics.v1 snapshot (docs/OBSERVABILITY.md): block counts,
+  // bytes in/out and inflate latency histograms for every run above.
+  std::fprintf(f, "  \"obs\": %s\n}\n", obs::metrics_json().c_str());
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

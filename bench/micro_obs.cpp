@@ -1,0 +1,165 @@
+// Micro-benchmarks backing the observability overhead contract
+// (docs/OBSERVABILITY.md): the disarmed cost of every hook is one relaxed
+// atomic load, so instrumented hot loops must run at the same speed as
+// uninstrumented ones. The *_Baseline / *_Disarmed pairs measure exactly
+// that — the contract holds when their times are within noise (<2%). The
+// *_Armed variants quantify what turning metrics or tracing on costs.
+
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace ngsx;
+
+/// The stand-in "real work" a hook wraps: cheap enough that any hook
+/// overhead shows up, real enough that the loop cannot be deleted.
+inline uint64_t work_step(uint64_t x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+constexpr int kStepsPerIteration = 1024;
+
+void BM_HotLoop_Baseline(benchmark::State& state) {
+  obs::enable_metrics(false);
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    for (int i = 0; i < kStepsPerIteration; ++i) {
+      x = work_step(x);
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kStepsPerIteration);
+}
+BENCHMARK(BM_HotLoop_Baseline);
+
+void BM_HotLoop_DisarmedCounter(benchmark::State& state) {
+  obs::enable_metrics(false);
+  obs::Counter& c = obs::counter("bench.micro.counter");
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    for (int i = 0; i < kStepsPerIteration; ++i) {
+      x = work_step(x);
+      if (obs::metrics_enabled()) {
+        c.add(1);
+      }
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kStepsPerIteration);
+}
+BENCHMARK(BM_HotLoop_DisarmedCounter);
+
+void BM_HotLoop_ArmedCounter(benchmark::State& state) {
+  obs::enable_metrics();
+  obs::Counter& c = obs::counter("bench.micro.counter");
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    for (int i = 0; i < kStepsPerIteration; ++i) {
+      x = work_step(x);
+      if (obs::metrics_enabled()) {
+        c.add(1);
+      }
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  obs::enable_metrics(false);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kStepsPerIteration);
+}
+BENCHMARK(BM_HotLoop_ArmedCounter);
+
+void BM_HotLoop_DisarmedHistogram(benchmark::State& state) {
+  obs::enable_metrics(false);
+  obs::Histogram& h = obs::histogram("bench.micro.hist");
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    for (int i = 0; i < kStepsPerIteration; ++i) {
+      x = work_step(x);
+      if (obs::metrics_enabled()) {
+        h.record(x & 0xffff);
+      }
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kStepsPerIteration);
+}
+BENCHMARK(BM_HotLoop_DisarmedHistogram);
+
+void BM_HotLoop_ArmedHistogram(benchmark::State& state) {
+  obs::enable_metrics();
+  obs::Histogram& h = obs::histogram("bench.micro.hist");
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    for (int i = 0; i < kStepsPerIteration; ++i) {
+      x = work_step(x);
+      if (obs::metrics_enabled()) {
+        h.record(x & 0xffff);
+      }
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  obs::enable_metrics(false);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kStepsPerIteration);
+}
+BENCHMARK(BM_HotLoop_ArmedHistogram);
+
+void BM_Span_Disarmed(benchmark::State& state) {
+  obs::enable_tracing(false);
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    obs::Span span("bench", "disarmed");
+    x = work_step(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Span_Disarmed);
+
+void BM_Span_Armed(benchmark::State& state) {
+  obs::reset_tracing();
+  obs::enable_tracing();
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    obs::Span span("bench", "armed");
+    x = work_step(x);
+    benchmark::DoNotOptimize(x);
+    // Spans buffer until drained; keep the per-thread buffer from
+    // saturating (dropped events would make late iterations cheaper).
+    if (obs::trace_event_count() > (obs::detail::kMaxEventsPerThread / 2)) {
+      state.PauseTiming();
+      obs::reset_tracing();
+      obs::enable_tracing();
+      state.ResumeTiming();
+    }
+  }
+  obs::enable_tracing(false);
+  obs::reset_tracing();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Span_Armed);
+
+void BM_Snapshot(benchmark::State& state) {
+  obs::enable_metrics();
+  obs::counter("bench.micro.counter").add(1);
+  obs::histogram("bench.micro.hist").record(1);
+  for (auto _ : state) {
+    obs::Snapshot snap = obs::snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+  obs::enable_metrics(false);
+}
+BENCHMARK(BM_Snapshot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

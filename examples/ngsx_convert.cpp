@@ -7,12 +7,20 @@
 //   ngsx_convert --in data.bam --to fastq --out outdir --ranks 8
 //   ngsx_convert --in data.bam --to sam --out outdir --region chr1:1-50000
 //   ngsx_convert --in data.sam --to fasta --out outdir --preprocess --m 4
+//   ngsx_convert --in data.bam --to sam --out outdir \
+//       --metrics metrics.json --trace trace.json
 //
 // For SAM input, --preprocess selects the preprocessing-optimized
 // converter (III-C, M preprocessing ranks + N conversion ranks); otherwise
 // the direct Algorithm-1 converter runs (III-A). BAM input is always
 // preprocessed into BAMX/BAIX next to the output (III-B); --region
 // performs partial conversion via the BAIX.
+//
+// --metrics writes the merged metrics snapshot (schema ngsx.metrics.v1)
+// and --trace writes Chrome-trace JSON for chrome://tracing / Perfetto;
+// both are documented in docs/OBSERVABILITY.md. The per-stage summary on
+// stdout is derived from the same metrics, so only stages that actually
+// ran are listed.
 
 #include <cstdio>
 
@@ -20,6 +28,9 @@
 
 #include "core/convert.h"
 #include "exec/pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/binio.h"
 #include "util/cli.h"
 #include "util/strutil.h"
 
@@ -33,11 +44,14 @@ int usage(const char* prog) {
                "          [--ranks N] [--region chr:beg-end]\n"
                "          [--schedule static|dynamic] [--threads T]\n"
                "          [--decode-threads D] [--preprocess [--m M]]\n"
-               "          [--no-header]\n"
+               "          [--no-header] [--metrics FILE.json]\n"
+               "          [--trace FILE.json]\n"
                "FORMAT: sam bam bed bedgraph fasta fastq json yaml\n"
                "--ranks 0 / --threads 0 / --decode-threads 0 auto-detect\n"
                "the hardware width; --decode-threads sets the BGZF inflate\n"
-               "workers used while reading BAM input\n",
+               "workers used while reading BAM input\n"
+               "--metrics writes a ngsx.metrics.v1 snapshot, --trace a\n"
+               "Chrome-trace JSON (see docs/OBSERVABILITY.md)\n",
                prog);
   return 2;
 }
@@ -48,6 +62,34 @@ int resolve_width(const char* flag, int64_t value, int auto_value) {
     throw UsageError(std::string("--") + flag + " must be >= 0 (0 = auto)");
   }
   return value == 0 ? auto_value : static_cast<int>(value);
+}
+
+/// Prints the per-stage wall-time summary from the recorded stage
+/// counters. Stages register their `convert.stage.<name>.ns` counter only
+/// when they run, so skipped stages (e.g. no preprocessing for direct SAM
+/// conversion) are simply absent — they were previously printed as
+/// "0.00 s" entries.
+void print_stage_summary(const obs::Snapshot& snap) {
+  const std::string prefix = "convert.stage.";
+  const std::string suffix = ".ns";
+  std::string line;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    std::string stage = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s%s %.2f s", line.empty() ? "" : ", ",
+                  stage.c_str(), static_cast<double>(value) / 1e9);
+    line += buf;
+  }
+  if (!line.empty()) {
+    std::printf("stage wall time: %s\n", line.c_str());
+  }
 }
 
 }  // namespace
@@ -62,6 +104,16 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Metrics power the stage summary, so they are always on; tracing is
+    // opt-in (it buffers every span until exit).
+    const std::string metrics_path = args.get("metrics", "");
+    const std::string trace_path = args.get("trace", "");
+    obs::enable_metrics();
+    if (!trace_path.empty()) {
+      obs::enable_tracing();
+      obs::set_thread_name("main");
+    }
+
     core::ConvertOptions options;
     options.format = core::parse_target_format(to);
     const int auto_width = exec::hardware_threads();
@@ -83,7 +135,6 @@ int main(int argc, char** argv) {
     options.decode_threads = static_cast<int>(decode_request);
     const std::string region_text = args.get("region", "");
 
-    double preprocess_seconds = 0.0;
     core::ConvertStats stats;
     if (strutil::ends_with(in, ".bam")) {
       // BAM path: preprocess (III-B), then full or partial conversion.
@@ -91,7 +142,6 @@ int main(int argc, char** argv) {
       const std::string baix = out + "/input.baix";
       std::filesystem::create_directories(out);
       auto pre = core::preprocess_bam(in, bamx, baix, options.decode_threads);
-      preprocess_seconds = pre.seconds;
       std::fprintf(stderr, "preprocessed %llu records in %.2f s\n",
                    static_cast<unsigned long long>(pre.records), pre.seconds);
       std::optional<core::Region> region;
@@ -111,7 +161,6 @@ int main(int argc, char** argv) {
       const int m =
           resolve_width("m", args.get_int("m", options.ranks), auto_width);
       auto pre = core::preprocess_sam_parallel(in, out + "/shards", m);
-      preprocess_seconds = pre.seconds;
       std::fprintf(stderr, "preprocessed %llu records (%d shards) in %.2f s\n",
                    static_cast<unsigned long long>(pre.records), m,
                    pre.seconds);
@@ -125,15 +174,27 @@ int main(int argc, char** argv) {
       stats = core::convert_sam(in, out, options);
     }
 
+    const obs::Snapshot snap = obs::snapshot();
     std::printf("converted %llu records -> %llu target objects in %.2f s\n",
                 static_cast<unsigned long long>(stats.records_in),
                 static_cast<unsigned long long>(stats.records_out),
                 stats.seconds);
-    std::printf("stage wall time: preprocess %.2f s, convert %.2f s\n",
-                preprocess_seconds, stats.seconds);
+    print_stage_summary(snap);
     std::printf("%.1f MB in, %.1f MB out, %zu part files under %s\n",
                 stats.bytes_in / 1e6, stats.bytes_out / 1e6,
                 stats.outputs.size(), out.c_str());
+    if (!metrics_path.empty()) {
+      write_file(metrics_path, obs::metrics_json(snap) + "\n");
+    }
+    if (!trace_path.empty()) {
+      write_file(trace_path, obs::trace_json() + "\n");
+      if (obs::trace_dropped_count() > 0) {
+        std::fprintf(stderr,
+                     "trace: %llu spans dropped (per-thread buffer full)\n",
+                     static_cast<unsigned long long>(
+                         obs::trace_dropped_count()));
+      }
+    }
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

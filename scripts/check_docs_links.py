@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Intra-repo Markdown link checker (CI docs job).
+
+Scans every tracked .md file for inline Markdown links and verifies that
+relative targets exist on disk (anchors are stripped; external schemes
+are ignored). Exits non-zero listing every broken link.
+
+Usage: scripts/check_docs_links.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target); images ![alt](target) match too via the
+# same pattern. Reference-style links are rare in this repo and skipped.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIRS = {".git", "build", "third_party", ".claude"}
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS or part.startswith("build")
+                   for part in path.relative_to(root).parts):
+            yield path
+
+
+def check(root: Path) -> int:
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (root / rel) if rel.startswith("/") \
+                else (md.parent / rel)
+            checked += 1
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                broken.append(f"{md.relative_to(root)}:{line}: "
+                              f"broken link -> {target}")
+    for b in broken:
+        print(b, file=sys.stderr)
+    print(f"checked {checked} intra-repo links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    sys.exit(check(root.resolve()))

@@ -9,6 +9,8 @@
 #include "exec/pool.h"
 #include "formats/bam.h"
 #include "mpi/minimpi.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strutil.h"
 #include "util/timer.h"
 
@@ -138,6 +140,29 @@ std::string part_path(const std::string& out_dir, int rank,
 }
 
 /// Reads the SAM header and the offset where alignment lines begin.
+// Converter observability (docs/OBSERVABILITY.md, layer "convert").
+// Stage wall time comes from obs::StageScope (registered only when the
+// stage actually runs); these record the merged record/byte totals, once
+// per conversion.
+void record_convert_stats(const ConvertStats& stats) {
+  if (!obs::metrics_enabled()) {
+    return;
+  }
+  obs::counter("convert.records.in").add(stats.records_in);
+  obs::counter("convert.records.out").add(stats.records_out);
+  obs::counter("convert.bytes.in").add(stats.bytes_in);
+  obs::counter("convert.bytes.out").add(stats.bytes_out);
+}
+
+void record_preprocess_stats(const PreprocessStats& stats) {
+  if (!obs::metrics_enabled()) {
+    return;
+  }
+  obs::counter("convert.preprocess.records").add(stats.records);
+  obs::counter("convert.preprocess.bytes_in").add(stats.bytes_in);
+  obs::counter("convert.preprocess.bytes_out").add(stats.bytes_out);
+}
+
 std::pair<SamHeader, uint64_t> read_sam_header(const std::string& path) {
   sam::SamFileReader reader(path);
   return {reader.header(), reader.alignment_start_offset()};
@@ -280,6 +305,7 @@ ConvertStats convert_sam(const std::string& sam_path,
                          const std::string& out_dir,
                          const ConvertOptions& options) {
   NGSX_CHECK_MSG(options.ranks >= 1, "ranks must be >= 1");
+  obs::StageScope stage("convert.stage.convert", "convert", "convert");
   fs::create_directories(out_dir);
   auto [header, body_offset] = read_sam_header(sam_path);
   const uint64_t file_size = ngsx::file_size(sam_path);
@@ -325,6 +351,7 @@ ConvertStats convert_sam(const std::string& sam_path,
           return out;
         });
     stats.seconds = timer.seconds();
+    record_convert_stats(stats);
     return stats;
   }
 
@@ -365,6 +392,7 @@ ConvertStats convert_sam(const std::string& sam_path,
   ConvertStats stats = merge_stats(locals);
   stats.seconds = timer.seconds();
   stats.outputs = std::move(outputs);
+  record_convert_stats(stats);
   return stats;
 }
 
@@ -374,6 +402,7 @@ PreprocessStats preprocess_bam(const std::string& bam_path,
                                const std::string& bamx_path,
                                const std::string& baix_path,
                                int decode_threads) {
+  obs::StageScope stage("convert.stage.preprocess", "convert", "preprocess");
   WallTimer timer;
   PreprocessStats stats;
   stats.bytes_in = ngsx::file_size(bam_path);
@@ -382,6 +411,7 @@ PreprocessStats preprocess_bam(const std::string& bam_path,
   // stride-defining maxima require a full sequential decode pass.
   bamx::BamxLayout layout;
   {
+    obs::Span span("convert", "preprocess.measure");
     bam::BamFileReader reader(bam_path, decode_threads);
     AlignmentRecord rec;
     while (reader.next(rec)) {
@@ -392,6 +422,7 @@ PreprocessStats preprocess_bam(const std::string& bam_path,
   // Pass 2 (encode): write fixed-stride records and collect BAIX entries.
   std::vector<bamx::BaixEntry> entries;
   {
+    obs::Span span("convert", "preprocess.encode");
     bam::BamFileReader reader(bam_path, decode_threads);
     bamx::BamxWriter writer(bamx_path, reader.header(), layout);
     AlignmentRecord rec;
@@ -404,13 +435,17 @@ PreprocessStats preprocess_bam(const std::string& bam_path,
     writer.close();
     stats.records = index;
   }
-  bamx::BaixIndex index = bamx::BaixIndex::from_entries(std::move(entries));
-  index.save(baix_path);
+  {
+    obs::Span span("convert", "preprocess.index");
+    bamx::BaixIndex index = bamx::BaixIndex::from_entries(std::move(entries));
+    index.save(baix_path);
+  }
 
   stats.bytes_out = ngsx::file_size(bamx_path) + ngsx::file_size(baix_path);
   stats.bamx_paths = {bamx_path};
   stats.baix_paths = {baix_path};
   stats.seconds = timer.seconds();
+  record_preprocess_stats(stats);
   return stats;
 }
 
@@ -420,6 +455,7 @@ ConvertStats convert_bamx(const std::string& bamx_path,
                           const ConvertOptions& options,
                           std::optional<Region> region) {
   NGSX_CHECK_MSG(options.ranks >= 1, "ranks must be >= 1");
+  obs::StageScope stage("convert.stage.convert", "convert", "convert");
   fs::create_directories(out_dir);
 
   // Open once to learn the header/geometry; ranks reopen independently.
@@ -477,6 +513,7 @@ ConvertStats convert_bamx(const std::string& bamx_path,
     ConvertStats stats = run_dynamic_chunks(chunks, options.ranks, out_dir,
                                             options, header, parse);
     stats.seconds = timer.seconds();
+    record_convert_stats(stats);
     return stats;
   }
 
@@ -537,11 +574,13 @@ ConvertStats convert_bamx(const std::string& bamx_path,
   ConvertStats stats = merge_stats(locals);
   stats.seconds = timer.seconds();
   stats.outputs = std::move(outputs);
+  record_convert_stats(stats);
   return stats;
 }
 
 void build_baix2(const std::string& bamx_path,
                  const std::string& baix2_path) {
+  obs::StageScope stage("convert.stage.index", "convert", "build_baix2");
   bamx::BamxReader reader(bamx_path);
   baix2::Baix2Index::build(reader).save(baix2_path);
 }
@@ -554,6 +593,7 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
                                    baix2::RegionMode mode,
                                    const baix2::Filter& filter) {
   NGSX_CHECK_MSG(options.ranks >= 1, "ranks must be >= 1");
+  obs::StageScope stage("convert.stage.convert", "convert", "convert");
   fs::create_directories(out_dir);
 
   bamx::BamxReader probe(bamx_path);
@@ -582,6 +622,7 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
           return out;
         });
     stats.seconds = timer.seconds();
+    record_convert_stats(stats);
     return stats;
   }
 
@@ -616,6 +657,7 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
   ConvertStats stats = merge_stats(locals);
   stats.seconds = timer.seconds();
   stats.outputs = std::move(outputs);
+  record_convert_stats(stats);
   return stats;
 }
 
@@ -623,6 +665,7 @@ ConvertStats convert_bam_sequential(const std::string& bam_path,
                                     const std::string& out_path,
                                     TargetFormat format,
                                     int decode_threads) {
+  obs::StageScope stage("convert.stage.convert", "convert", "convert");
   WallTimer timer;
   bam::BamFileReader reader(bam_path, decode_threads);
   auto writer = make_target_writer(format, out_path, reader.header(),
@@ -640,6 +683,7 @@ ConvertStats convert_bam_sequential(const std::string& bam_path,
   stats.bytes_out = writer->bytes_written();
   stats.outputs = {out_path};
   stats.seconds = timer.seconds();
+  record_convert_stats(stats);
   return stats;
 }
 
@@ -649,6 +693,7 @@ PreprocessStats preprocess_sam_parallel(const std::string& sam_path,
                                         const std::string& out_dir,
                                         int m_ranks) {
   NGSX_CHECK_MSG(m_ranks >= 1, "ranks must be >= 1");
+  obs::StageScope stage("convert.stage.preprocess", "convert", "preprocess");
   fs::create_directories(out_dir);
   auto [header, body_offset] = read_sam_header(sam_path);
   const uint64_t file_size = ngsx::file_size(sam_path);
@@ -721,6 +766,7 @@ PreprocessStats preprocess_sam_parallel(const std::string& sam_path,
   stats.bamx_paths = std::move(bamx_paths);
   stats.baix_paths = std::move(baix_paths);
   stats.seconds = timer.seconds();
+  record_preprocess_stats(stats);
   return stats;
 }
 

@@ -41,9 +41,27 @@
 
 #include "exec/channel.h"
 #include "exec/pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace ngsx::exec {
+
+// Pipeline observability (docs/OBSERVABILITY.md, layer "exec"). Shared by
+// every ordered_pipeline instantiation; hooks are gated on
+// obs::metrics_enabled() so the disarmed cost is one relaxed load.
+struct PipelineMetrics {
+  obs::Counter& tickets = obs::counter("exec.pipeline.tickets");
+  obs::Histogram& transform_us = obs::histogram("exec.pipeline.transform_us");
+  obs::Histogram& commit_wait_us =
+      obs::histogram("exec.pipeline.commit_wait_us");
+  obs::Gauge& reorder_depth = obs::gauge("exec.pipeline.reorder_depth");
+};
+
+inline PipelineMetrics& pipeline_metrics() {
+  static PipelineMetrics m;
+  return m;
+}
 
 struct PipelineOptions {
   /// Parallel transform workers; 0 means pool.size().
@@ -141,12 +159,25 @@ void ordered_pipeline(Pool& pool,
           issued.fetch_add(1, std::memory_order_relaxed);
         }
         try {
+          obs::Span span("exec", "pipeline.transform");
+          const bool recording = obs::metrics_enabled();
+          const uint64_t start_ns =
+              recording ? obs::detail::monotonic_ns() : 0;
           Out out = transform(std::move(item), ticket);
+          if (recording) {
+            PipelineMetrics& m = pipeline_metrics();
+            m.tickets.add(1);
+            m.transform_us.record(
+                (obs::detail::monotonic_ns() - start_ns) / 1000);
+          }
           std::lock_guard<std::mutex> lock(st.mu);
           if (st.error != nullptr) {
             break;  // poisoned; discard
           }
           st.ready.emplace(ticket, std::move(out));
+          if (recording) {
+            pipeline_metrics().reorder_depth.add(1);
+          }
           if (ticket == st.commit_next) {
             st.commit_cv.notify_one();
           }
@@ -172,11 +203,20 @@ void ordered_pipeline(Pool& pool,
     Out out;
     {
       std::unique_lock<std::mutex> lock(st.mu);
+      const bool recording = obs::metrics_enabled();
+      const uint64_t wait_start_ns =
+          recording ? obs::detail::monotonic_ns() : 0;
       st.commit_cv.wait(lock, [&] {
         return st.error != nullptr ||
                st.ready.count(st.commit_next) != 0 ||
                (st.active_workers == 0 && st.ready.empty());
       });
+      if (recording) {
+        // Commit stall: how long the in-order committer sat waiting for
+        // the next ticket to finish transforming.
+        pipeline_metrics().commit_wait_us.record(
+            (obs::detail::monotonic_ns() - wait_start_ns) / 1000);
+      }
       if (st.error != nullptr) {
         break;
       }
@@ -186,10 +226,14 @@ void ordered_pipeline(Pool& pool,
       }
       out = std::move(it->second);
       st.ready.erase(it);
+      if (recording) {
+        pipeline_metrics().reorder_depth.sub(1);
+      }
       ++st.commit_next;
       st.window_cv.notify_all();
     }
     try {
+      obs::Span span("exec", "pipeline.commit");
       sink(std::move(out), st.commit_next - 1);
     } catch (...) {
       sink_error = std::current_exception();

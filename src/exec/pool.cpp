@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <random>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ngsx::exec {
 
 namespace {
@@ -18,6 +21,22 @@ thread_local int tl_index = -1;
 // explicit (wake_cv_), but owner-deque pushes signal without the injector
 // lock, so a notification can be missed; the timeout bounds that window.
 constexpr auto kParkInterval = std::chrono::microseconds(200);
+
+// Pool observability (docs/OBSERVABILITY.md, layer "exec"). Handles are
+// registered lazily on the first armed hook; every hook is gated on
+// obs::metrics_enabled() so the disarmed cost is one relaxed load.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::counter("exec.pool.tasks");
+  obs::Counter& steals = obs::counter("exec.pool.steals");
+  obs::Counter& parks = obs::counter("exec.pool.parks");
+  obs::Gauge& queue_depth = obs::gauge("exec.pool.queue_depth");
+  obs::Histogram& task_us = obs::histogram("exec.pool.task_us");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -60,6 +79,9 @@ void Pool::submit(std::function<void()> fn) {
 
 void Pool::submit_task(Task* task) {
   pending_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled()) {
+    pool_metrics().queue_depth.add(1);
+  }
   if (tl_pool == this) {
     // Spawned from a worker: LIFO push onto its own deque; thieves take
     // the oldest end. Signal outside the lock — a missed wakeup is
@@ -103,6 +125,9 @@ Pool::Task* Pool::find_task() {
       continue;
     }
     if (deques_[static_cast<size_t>(victim)]->steal(task)) {
+      if (obs::metrics_enabled()) {
+        pool_metrics().steals.add(1);
+      }
       return task;
     }
   }
@@ -119,6 +144,14 @@ bool Pool::try_run_one() {
 }
 
 void Pool::run_task(Task* task) {
+  uint64_t start_ns = 0;
+  const bool recording = obs::metrics_enabled();
+  if (recording) {
+    PoolMetrics& m = pool_metrics();
+    m.tasks.add(1);
+    m.queue_depth.sub(1);
+    start_ns = obs::detail::monotonic_ns();
+  }
   if (task->group != nullptr) {
     try {
       task->fn();
@@ -138,11 +171,16 @@ void Pool::run_task(Task* task) {
   }
   delete task;
   pending_.fetch_sub(1, std::memory_order_release);
+  if (recording) {
+    pool_metrics().task_us.record(
+        (obs::detail::monotonic_ns() - start_ns) / 1000);
+  }
 }
 
 void Pool::worker_main(int index) {
   tl_pool = this;
   tl_index = index;
+  obs::set_thread_name("exec.worker");
   while (true) {
     if (try_run_one()) {
       continue;
@@ -158,6 +196,9 @@ void Pool::worker_main(int index) {
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;
+    }
+    if (obs::metrics_enabled()) {
+      pool_metrics().parks.add(1);
     }
     wake_cv_.wait_for(lock, kParkInterval);
   }

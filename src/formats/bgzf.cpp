@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ngsx::bgzf {
 
 namespace {
@@ -36,6 +39,35 @@ const unsigned char kEofBlock[28] = {
   throw FormatError(msg + " at compressed offset " + std::to_string(coffset));
 }
 
+// Block-codec observability (docs/OBSERVABILITY.md, layer "bgzf").
+// Instrumented here, in the per-block codec, so both the sequential
+// Reader/Writer and the parallel pipelines are covered by the same hooks;
+// each hook is gated on obs::metrics_enabled() (one relaxed load when
+// disarmed).
+struct DecodeMetrics {
+  obs::Counter& blocks = obs::counter("bgzf.decode.blocks");
+  obs::Counter& bytes_in = obs::counter("bgzf.decode.bytes_in");
+  obs::Counter& bytes_out = obs::counter("bgzf.decode.bytes_out");
+  obs::Histogram& inflate_us = obs::histogram("bgzf.decode.inflate_us");
+};
+
+struct EncodeMetrics {
+  obs::Counter& blocks = obs::counter("bgzf.encode.blocks");
+  obs::Counter& bytes_in = obs::counter("bgzf.encode.bytes_in");
+  obs::Counter& bytes_out = obs::counter("bgzf.encode.bytes_out");
+  obs::Histogram& deflate_us = obs::histogram("bgzf.encode.deflate_us");
+};
+
+DecodeMetrics& decode_metrics() {
+  static DecodeMetrics m;
+  return m;
+}
+
+EncodeMetrics& encode_metrics() {
+  static EncodeMetrics m;
+  return m;
+}
+
 }  // namespace
 
 std::string_view eof_marker() {
@@ -65,6 +97,10 @@ Deflater::~Deflater() {
 void Deflater::compress(std::string_view input, std::string& out, int level) {
   NGSX_CHECK_MSG(input.size() <= kMaxBlockInput,
                  "BGZF block input too large");
+  obs::Span span("bgzf", "deflate_block");
+  const bool recording = obs::metrics_enabled();
+  const uint64_t start_ns = recording ? obs::detail::monotonic_ns() : 0;
+  const size_t out_start = out.size();
   // Raw deflate (windowBits = -15): we write the gzip wrapper ourselves so
   // we can place the BC extra field. The stream is recycled with
   // deflateReset; a level change (rare) pays a full reinit.
@@ -112,6 +148,13 @@ void Deflater::compress(std::string_view input, std::string& out, int level) {
             static_cast<uInt>(input.size())));
   binio::put_le<uint32_t>(out, crc);
   binio::put_le<uint32_t>(out, static_cast<uint32_t>(input.size()));
+  if (recording) {
+    EncodeMetrics& m = encode_metrics();
+    m.blocks.add(1);
+    m.bytes_in.add(input.size());
+    m.bytes_out.add(out.size() - out_start);
+    m.deflate_us.record((obs::detail::monotonic_ns() - start_ns) / 1000);
+  }
 }
 
 void compress_block(std::string_view input, std::string& out, int level) {
@@ -170,6 +213,9 @@ Inflater::~Inflater() {
 
 size_t Inflater::decompress(std::string_view block, std::string& out,
                             uint64_t coffset) {
+  obs::Span span("bgzf", "inflate_block");
+  const bool recording = obs::metrics_enabled();
+  const uint64_t start_ns = recording ? obs::detail::monotonic_ns() : 0;
   size_t total = peek_block_size(block);
   if (block.size() != total) {
     block_error("BGZF block size mismatch: header says " +
@@ -213,6 +259,13 @@ size_t Inflater::decompress(std::string_view block, std::string& out,
   if (crc != expect_crc) {
     out.resize(out_start);
     block_error("BGZF CRC mismatch", coffset);
+  }
+  if (recording) {
+    DecodeMetrics& m = decode_metrics();
+    m.blocks.add(1);
+    m.bytes_in.add(block.size());
+    m.bytes_out.add(isize);
+    m.inflate_us.record((obs::detail::monotonic_ns() - start_ns) / 1000);
   }
   return isize;
 }

@@ -5,10 +5,26 @@
 #include <optional>
 
 #include "formats/bgzf.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ngsx::bgzf {
 
 namespace {
+
+// Parallel-path observability (docs/OBSERVABILITY.md, layer "bgzf"): the
+// per-block codec metrics live in bgzf.cpp; here we only track what is
+// unique to the parallel reader — readahead-buffer occupancy and pipeline
+// restarts forced by seeks.
+struct ParallelReaderMetrics {
+  obs::Gauge& readahead_depth = obs::gauge("bgzf.decode.readahead_depth");
+  obs::Counter& seek_restarts = obs::counter("bgzf.decode.seek_restarts");
+};
+
+ParallelReaderMetrics& reader_metrics() {
+  static ParallelReaderMetrics m;
+  return m;
+}
 
 // Producer backpressure: cap in-flight blocks so a fast producer cannot
 // balloon memory while compression workers lag.
@@ -174,6 +190,13 @@ void ParallelReader::stop() {
   if (driver_.joinable()) {
     driver_.join();
   }
+  // Blocks still buffered at a restart are discarded; account for them so
+  // the readahead-depth gauge returns to zero.
+  if (blocks_ != nullptr && obs::metrics_enabled()) {
+    while (blocks_->pop().has_value()) {
+      reader_metrics().readahead_depth.sub(1);
+    }
+  }
 }
 
 void ParallelReader::drive(uint64_t start_coffset) {
@@ -229,6 +252,9 @@ void ParallelReader::drive(uint64_t start_coffset) {
           if (!blocks_->push(std::move(block))) {
             throw PipelineCancelled{};
           }
+          if (obs::metrics_enabled()) {
+            reader_metrics().readahead_depth.add(1);
+          }
         },
         opt);
   } catch (const PipelineCancelled&) {
@@ -249,6 +275,9 @@ bool ParallelReader::fetch_next() {
     return false;
   }
   std::optional<Decoded> block = blocks_->pop();
+  if (block.has_value() && obs::metrics_enabled()) {
+    reader_metrics().readahead_depth.sub(1);
+  }
   if (!block.has_value()) {
     drained_ = true;
     have_block_ = false;
@@ -324,6 +353,9 @@ void ParallelReader::seek(uint64_t voffset) {
   // Seek invalidation: discard the in-flight readahead and rescan from the
   // target block (its framing is revalidated by the scanner, exactly as
   // the sequential reader's load_block would).
+  if (obs::metrics_enabled()) {
+    reader_metrics().seek_restarts.add(1);
+  }
   stop();
   start(coffset);
   if (!fetch_next()) {

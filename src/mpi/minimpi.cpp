@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace ngsx::mpi {
 namespace detail {
 
@@ -215,6 +217,8 @@ void run(int nranks, const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&world, &body, r, nranks] {
+      obs::set_thread_name("mpi.rank");
+      obs::Span span("mpi", "rank");
       Comm comm(&world, r, nranks);
       try {
         body(comm);

@@ -1,0 +1,385 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ngsx::obs {
+
+namespace detail {
+
+std::atomic<int> g_metrics_on{0};
+
+uint64_t monotonic_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// Plain (non-atomic) accumulation of a shard; used for the retired totals
+/// of exited threads and as the snapshot working state.
+struct Totals {
+  std::array<uint64_t, kMaxScalars> scalars{};
+  struct Hist {
+    std::array<uint64_t, kHistBuckets> buckets{};
+    uint64_t sum = 0;
+    uint64_t min = ~0ull;
+    uint64_t max = 0;
+  };
+  std::array<Hist, kMaxHistograms> hists{};
+
+  void absorb(const Shard& shard) {
+    for (size_t i = 0; i < kMaxScalars; ++i) {
+      scalars[i] += shard.scalars[i].load(std::memory_order_relaxed);
+    }
+    for (size_t h = 0; h < kMaxHistograms; ++h) {
+      const HistShard& src = shard.hists[h];
+      Hist& dst = hists[h];
+      for (size_t b = 0; b < kHistBuckets; ++b) {
+        dst.buckets[b] += src.buckets[b].load(std::memory_order_relaxed);
+      }
+      dst.sum += src.sum.load(std::memory_order_relaxed);
+      dst.min = std::min(dst.min, src.min.load(std::memory_order_relaxed));
+      dst.max = std::max(dst.max, src.max.load(std::memory_order_relaxed));
+    }
+  }
+};
+
+enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+/// Process-global registry: name -> handle map, the set of live shards,
+/// and the folded totals of exited threads. Leaked on purpose so
+/// thread_local shard destructors running at any point of process
+/// teardown always find it alive.
+class RegistryImpl {
+ public:
+  static RegistryImpl& instance() {
+    static RegistryImpl* reg = new RegistryImpl();
+    return *reg;
+  }
+
+  struct Entry {
+    Kind kind;
+    uint32_t id;          // shard slot (counters and gauges share slots)
+    size_t handle_index;  // position in the per-kind handle vector
+  };
+
+  template <typename Handle>
+  Handle& registered(const std::string& name, Kind kind, uint32_t limit,
+                     uint32_t& next_id, std::vector<std::unique_ptr<Handle>>&
+                     handles) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      if (it->second.kind != kind) {
+        throw UsageError("metric '" + name + "' already registered as a " +
+                         std::string(kind_name(it->second.kind)) +
+                         ", requested as a " + kind_name(kind));
+      }
+      return *handles[it->second.handle_index];
+    }
+    if (next_id >= limit) {
+      throw UsageError("metric registry full: cannot register '" + name +
+                       "' (" + kind_name(kind) + " capacity " +
+                       std::to_string(limit) + ")");
+    }
+    uint32_t id = next_id++;
+    entries_.emplace(name, Entry{kind, id, handles.size()});
+    order_.push_back(name);
+    handles.push_back(std::unique_ptr<Handle>(new Handle(id)));
+    return *handles.back();
+  }
+
+  Counter& counter(const std::string& name) {
+    return registered(name, Kind::kCounter, scalar_limit(), next_scalar_,
+                      counters_);
+  }
+
+  Gauge& gauge(const std::string& name) {
+    return registered(name, Kind::kGauge, scalar_limit(), next_scalar_,
+                      gauges_);
+  }
+
+  Histogram& histogram(const std::string& name) {
+    return registered(name, Kind::kHistogram,
+                      static_cast<uint32_t>(kMaxHistograms), next_hist_,
+                      histograms_);
+  }
+
+  void register_shard(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(shard);
+  }
+
+  void retire_shard(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.absorb(*shard);
+    std::erase(shards_, shard);
+  }
+
+  Snapshot snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Totals totals = retired_;
+    for (const Shard* shard : shards_) {
+      totals.absorb(*shard);
+    }
+    Snapshot snap;
+    for (const std::string& name : order_) {
+      const Entry& entry = entries_.at(name);
+      switch (entry.kind) {
+        case Kind::kCounter:
+          snap.counters.emplace_back(name, totals.scalars[entry.id]);
+          break;
+        case Kind::kGauge:
+          snap.gauges.emplace_back(
+              name, static_cast<int64_t>(totals.scalars[entry.id]));
+          break;
+        case Kind::kHistogram: {
+          const Totals::Hist& h = totals.hists[entry.id];
+          HistogramSnapshot hs;
+          hs.buckets = h.buckets;
+          for (uint64_t b : h.buckets) {
+            hs.count += b;
+          }
+          hs.sum = h.sum;
+          hs.min = hs.count == 0 ? 0 : h.min;
+          hs.max = h.max;
+          snap.histograms.emplace_back(name, hs);
+          break;
+        }
+      }
+    }
+    return snap;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_ = Totals{};
+    for (Shard* shard : shards_) {
+      for (auto& s : shard->scalars) {
+        s.store(0, std::memory_order_relaxed);
+      }
+      for (auto& h : shard->hists) {
+        for (auto& b : h.buckets) {
+          b.store(0, std::memory_order_relaxed);
+        }
+        h.sum.store(0, std::memory_order_relaxed);
+        h.min.store(~0ull, std::memory_order_relaxed);
+        h.max.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  RegistryImpl() = default;
+
+  // Counters and gauges share the scalar slot space (one combined cap).
+  static uint32_t scalar_limit() {
+    return static_cast<uint32_t>(kMaxScalars);
+  }
+
+  std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+  uint32_t next_scalar_ = 0;
+  uint32_t next_hist_ = 0;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::vector<Shard*> shards_;
+  Totals retired_;
+};
+
+Shard::Shard() {
+  for (auto& s : scalars) {
+    s.store(0, std::memory_order_relaxed);
+  }
+  for (auto& h : hists) {
+    for (auto& b : h.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    h.sum.store(0, std::memory_order_relaxed);
+    h.min.store(~0ull, std::memory_order_relaxed);
+    h.max.store(0, std::memory_order_relaxed);
+  }
+  RegistryImpl::instance().register_shard(this);
+}
+
+Shard::~Shard() { RegistryImpl::instance().retire_shard(this); }
+
+Shard& shard() {
+  thread_local Shard tl_shard;
+  return tl_shard;
+}
+
+void record_hist(uint32_t id, uint64_t value) {
+  HistShard& h = shard().hists[id];
+  unsigned bucket = static_cast<unsigned>(std::bit_width(value));
+  h.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = h.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !h.min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = h.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !h.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+void enable_metrics(bool on) {
+  detail::g_metrics_on.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+Counter& counter(const std::string& name) {
+  return detail::RegistryImpl::instance().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return detail::RegistryImpl::instance().gauge(name);
+}
+
+Histogram& histogram(const std::string& name) {
+  return detail::RegistryImpl::instance().histogram(name);
+}
+
+Snapshot snapshot() { return detail::RegistryImpl::instance().snapshot(); }
+
+void reset_metrics() { detail::RegistryImpl::instance().reset(); }
+
+uint64_t Snapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+int64_t Snapshot::gauge_value(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+const HistogramSnapshot* Snapshot::histogram_value(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+// --------------------------------------------------------------------- JSON
+
+namespace {
+
+/// Metric names are code-controlled ([a-z0-9._-]); escaping is still done
+/// so the serializer can never emit invalid JSON.
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string metrics_json(const Snapshot& snap) {
+  std::string out;
+  out += "{\n  \"schema\": \"ngsx.metrics.v1\",\n  \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(out, snap.counters[i].first);
+    out += ": ";
+    append_u64(out, snap.counters[i].second);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(out, snap.gauges[i].first);
+    out += ": ";
+    out += std::to_string(snap.gauges[i].second);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(out, name);
+    out += ": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_u64(out, h.sum);
+    out += ", \"min\": ";
+    append_u64(out, h.min);
+    out += ", \"max\": ";
+    append_u64(out, h.max);
+    out += ", \"buckets\": [";
+    // Bucket b holds values with bit_width == b; its inclusive upper bound
+    // is 2^b - 1. Empty buckets are omitted.
+    bool first = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) {
+        continue;
+      }
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      out += "{\"le\": ";
+      uint64_t le = b >= 64 ? ~0ull : (uint64_t{1} << b) - 1;
+      append_u64(out, le);
+      out += ", \"count\": ";
+      append_u64(out, h.buckets[b]);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+std::string metrics_json() { return metrics_json(snapshot()); }
+
+}  // namespace ngsx::obs

@@ -1,0 +1,230 @@
+// ngsx/obs/metrics.h
+//
+// Low-overhead process-wide metrics registry: named counters, gauges and
+// log2-bucketed histograms, recorded into lock-free per-thread shards and
+// merged on snapshot.
+//
+// The paper's speedup claims all rest on knowing where wall time goes —
+// partitioning, preprocessing, inflate, parse, write. This registry is the
+// substrate: the hot layers (exec pool/pipeline, BGZF codec, binio, the
+// converters) record into it, `ngsx_convert --metrics` and the bench
+// harnesses snapshot it, and docs/OBSERVABILITY.md makes the names and the
+// JSON schema a public contract.
+//
+// Cost contract (see docs/OBSERVABILITY.md "Overhead"):
+//
+//   * Disarmed (the default), every hook is ONE relaxed atomic load —
+//     the same pattern as io::IoPolicy::armed(), so code paths that are
+//     benchmarked with metrics off pay nothing measurable.
+//   * Armed, a counter/gauge update is one relaxed fetch_add on a
+//     thread-local shard (uncontended cache line); a histogram record is
+//     a handful of relaxed atomics. No locks anywhere on the hot path.
+//
+// Usage:
+//
+//   static obs::Counter& c = obs::counter("bgzf.decode.blocks");
+//   c.add(1);                                  // no-op unless armed
+//
+//   obs::enable_metrics();
+//   ... run ...
+//   obs::Snapshot snap = obs::snapshot();      // merge all shards
+//   std::string json = obs::metrics_json(snap);
+//
+// Names follow `layer.component.metric` (lowercase, dot-separated) and are
+// part of the public contract; handles are process-lived and idempotent
+// (registering the same name twice returns the same handle, a kind
+// mismatch throws UsageError).
+//
+// Thread-exit safety: a thread's shard folds its totals into the registry
+// when the thread dies, so counts from joined workers are never lost.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ngsx::obs {
+
+namespace detail {
+
+extern std::atomic<int> g_metrics_on;
+
+/// Fixed shard geometry: counters and gauges share one slot array,
+/// histograms get 65 log2 buckets (value 0, then bit_width 1..64) plus
+/// sum/min/max. Registration past the caps throws UsageError.
+constexpr size_t kMaxScalars = 256;
+constexpr size_t kMaxHistograms = 64;
+constexpr size_t kHistBuckets = 65;
+
+struct HistShard {
+  std::array<std::atomic<uint64_t>, kHistBuckets> buckets;
+  std::atomic<uint64_t> sum;
+  std::atomic<uint64_t> min;  // ~0ull when empty
+  std::atomic<uint64_t> max;
+};
+
+struct Shard {
+  std::array<std::atomic<uint64_t>, kMaxScalars> scalars;
+  std::array<HistShard, kMaxHistograms> hists;
+
+  Shard();   // zero-initializes and registers with the registry
+  ~Shard();  // folds totals into the registry's retired accumulator
+};
+
+/// The calling thread's shard (created and registered on first use).
+Shard& shard();
+
+/// Out-of-line histogram record (bucket select + min/max CAS loops).
+void record_hist(uint32_t id, uint64_t value);
+
+/// Monotonic nanoseconds (steady_clock); shared by latency scopes.
+uint64_t monotonic_ns();
+
+class RegistryImpl;
+
+}  // namespace detail
+
+/// Fast gate: true iff metric recording is armed for this process.
+inline bool metrics_enabled() {
+  return detail::g_metrics_on.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms / disarms metric recording process-wide. Values recorded while
+/// disarmed are simply not observed (hooks no-op); arming never clears
+/// previously recorded values — use reset_metrics() for that.
+void enable_metrics(bool on = true);
+
+/// Monotonically increasing count (events, bytes, retries).
+class Counter {
+ public:
+  void add(uint64_t delta = 1) {
+    if (!metrics_enabled()) {
+      return;
+    }
+    detail::shard().scalars[id_].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class detail::RegistryImpl;
+  explicit Counter(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+/// Signed up/down value (queue depth, buffer occupancy). Stored as wrapping
+/// two's-complement so per-thread deltas sum correctly across shards.
+class Gauge {
+ public:
+  void add(int64_t delta) {
+    if (!metrics_enabled()) {
+      return;
+    }
+    detail::shard().scalars[id_].fetch_add(static_cast<uint64_t>(delta),
+                                           std::memory_order_relaxed);
+  }
+  void sub(int64_t delta) { add(-delta); }
+
+ private:
+  friend class detail::RegistryImpl;
+  explicit Gauge(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+/// Power-of-two histogram (latencies in microseconds, sizes in bytes):
+/// value v lands in bucket bit_width(v), i.e. bucket upper bounds are
+/// 0, 1, 3, 7, 15, ... 2^k - 1. Tracks sum/min/max exactly.
+class Histogram {
+ public:
+  void record(uint64_t value) {
+    if (!metrics_enabled()) {
+      return;
+    }
+    detail::record_hist(id_, value);
+  }
+
+ private:
+  friend class detail::RegistryImpl;
+  explicit Histogram(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+/// Records elapsed wall time, in microseconds, into a histogram on
+/// destruction. If metrics are disarmed at construction the scope is free
+/// (no clock read).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& hist) {
+    if (metrics_enabled()) {
+      hist_ = &hist;
+      start_ns_ = detail::monotonic_ns();
+    }
+  }
+  ~ScopedLatency() {
+    if (hist_ != nullptr) {
+      hist_->record((detail::monotonic_ns() - start_ns_) / 1000);
+    }
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+/// Registers (or finds) a metric. Thread-safe; the returned reference is
+/// valid for the process lifetime. Throws UsageError on a kind mismatch
+/// ("x" registered as a counter, requested as a gauge) or when the fixed
+/// shard capacity (256 scalars / 64 histograms) is exhausted.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+// ---------------------------------------------------------------- snapshot
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+  std::array<uint64_t, detail::kHistBuckets> buckets{};
+};
+
+/// A merged, point-in-time view of every registered metric. Entries appear
+/// in registration order (first-use order), which the CLI stage summary
+/// relies on for stable output.
+struct Snapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Value of a counter by name; 0 if not registered (test convenience).
+  uint64_t counter_value(std::string_view name) const;
+  /// Value of a gauge by name; 0 if not registered.
+  int64_t gauge_value(std::string_view name) const;
+  /// Histogram by name; nullptr if not registered.
+  const HistogramSnapshot* histogram_value(std::string_view name) const;
+};
+
+/// Merges every live shard plus the retired totals of exited threads.
+/// Deterministic: with no recording in between, two snapshots are equal.
+Snapshot snapshot();
+
+/// Zeroes every recorded value (live shards and retired totals). Metric
+/// registrations survive. Intended for tests and benchmark harnesses.
+void reset_metrics();
+
+/// Serializes a snapshot to the documented JSON schema
+/// (`"schema": "ngsx.metrics.v1"`, see docs/OBSERVABILITY.md). The result
+/// is a self-contained JSON object with no trailing newline, suitable for
+/// embedding in a larger document.
+std::string metrics_json(const Snapshot& snap);
+/// Convenience: metrics_json(snapshot()).
+std::string metrics_json();
+
+}  // namespace ngsx::obs

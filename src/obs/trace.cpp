@@ -1,0 +1,251 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace ngsx::obs {
+
+namespace detail {
+
+std::atomic<int> g_tracing_on{0};
+
+namespace {
+
+struct Event {
+  const char* category;
+  const char* name;
+  uint64_t start_ns;
+  uint64_t end_ns;
+};
+
+/// One thread's span buffer. `mu` is uncontended on the hot path (only the
+/// owning thread appends); trace_json()/reset_tracing() take it to read or
+/// clear concurrently with recording.
+struct Buffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  uint64_t dropped = 0;
+  const char* thread_name = nullptr;
+  uint32_t tid = 0;
+  bool retired = false;
+};
+
+/// Global list of all span buffers, live and retired. Leaked on purpose so
+/// thread_local destructors at process teardown always find it alive.
+/// Buffers from exited threads stay in the list (their events are part of
+/// the trace) unless they are empty, in which case they are freed.
+class TraceRegistry {
+ public:
+  static TraceRegistry& instance() {
+    static TraceRegistry* reg = new TraceRegistry();
+    return *reg;
+  }
+
+  Buffer* make_buffer() {
+    auto* buf = new Buffer();
+    std::lock_guard<std::mutex> lock(mu_);
+    buf->tid = next_tid_++;
+    buffers_.push_back(buf);
+    return buf;
+  }
+
+  void retire_buffer(Buffer* buf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> block(buf->mu);
+    if (buf->events.empty() && buf->dropped == 0 &&
+        buf->thread_name == nullptr) {
+      std::erase(buffers_, buf);
+      block.unlock();
+      delete buf;
+      return;
+    }
+    buf->retired = true;
+  }
+
+  std::vector<Buffer*> buffers_snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffers_;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = buffers_.begin(); it != buffers_.end();) {
+      Buffer* buf = *it;
+      std::unique_lock<std::mutex> block(buf->mu);
+      if (buf->retired) {
+        it = buffers_.erase(it);
+        block.unlock();
+        delete buf;
+        continue;
+      }
+      buf->events.clear();
+      buf->dropped = 0;
+      ++it;
+    }
+  }
+
+ private:
+  TraceRegistry() = default;
+
+  std::mutex mu_;
+  std::vector<Buffer*> buffers_;
+  uint32_t next_tid_ = 1;
+};
+
+/// Ties a Buffer to the thread's lifetime; the buffer itself outlives the
+/// thread if it holds events.
+struct BufferOwner {
+  Buffer* buf = TraceRegistry::instance().make_buffer();
+  ~BufferOwner() { TraceRegistry::instance().retire_buffer(buf); }
+};
+
+Buffer& thread_buffer() {
+  thread_local BufferOwner owner;
+  return *owner.buf;
+}
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Microseconds with nanosecond fraction, the unit Chrome trace expects.
+void append_us(std::string& out, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void trace_emit(const char* category, const char* name, uint64_t start_ns,
+                uint64_t end_ns) {
+  Buffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(Event{category, name, start_ns, end_ns});
+}
+
+}  // namespace detail
+
+void enable_tracing(bool on) {
+  detail::g_tracing_on.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_thread_name(const char* name) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  detail::Buffer& buf = detail::thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.thread_name = name;
+}
+
+StageScope::StageScope(const std::string& prefix, const char* category,
+                       const char* name)
+    : span_(category, name) {
+  if (metrics_enabled()) {
+    ns_ = &counter(prefix + ".ns");
+    calls_ = &counter(prefix + ".calls");
+    start_ns_ = detail::monotonic_ns();
+  }
+}
+
+StageScope::~StageScope() {
+  if (ns_ != nullptr) {
+    ns_->add(detail::monotonic_ns() - start_ns_);
+    calls_->add(1);
+  }
+}
+
+std::string trace_json() {
+  // The process is single in the trace's eyes; a constant pid keeps the
+  // output deterministic across runs.
+  constexpr const char* kPid = "1";
+  std::string out;
+  out += "{\"traceEvents\": [";
+  bool first = true;
+  auto comma = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (detail::Buffer* buf : detail::TraceRegistry::instance()
+                                 .buffers_snapshot()) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->thread_name != nullptr) {
+      comma();
+      out += "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": ";
+      out += kPid;
+      out += ", \"tid\": ";
+      out += std::to_string(buf->tid);
+      out += ", \"args\": {\"name\": ";
+      detail::append_json_string(out, buf->thread_name);
+      out += "}}";
+    }
+    for (const detail::Event& ev : buf->events) {
+      comma();
+      out += "{\"ph\": \"X\", \"cat\": ";
+      detail::append_json_string(out, ev.category);
+      out += ", \"name\": ";
+      detail::append_json_string(out, ev.name);
+      out += ", \"pid\": ";
+      out += kPid;
+      out += ", \"tid\": ";
+      out += std::to_string(buf->tid);
+      out += ", \"ts\": ";
+      detail::append_us(out, ev.start_ns);
+      out += ", \"dur\": ";
+      detail::append_us(out, ev.end_ns - ev.start_ns);
+      out += "}";
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}";
+  return out;
+}
+
+uint64_t trace_event_count() {
+  uint64_t n = 0;
+  for (detail::Buffer* buf : detail::TraceRegistry::instance()
+                                 .buffers_snapshot()) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+uint64_t trace_dropped_count() {
+  uint64_t n = 0;
+  for (detail::Buffer* buf : detail::TraceRegistry::instance()
+                                 .buffers_snapshot()) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    n += buf->dropped;
+  }
+  return n;
+}
+
+void reset_tracing() { detail::TraceRegistry::instance().reset(); }
+
+}  // namespace ngsx::obs

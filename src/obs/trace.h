@@ -1,0 +1,128 @@
+// ngsx/obs/trace.h
+//
+// Scoped trace spans emitting Chrome-trace / Perfetto-compatible JSON.
+//
+// A Span is an RAII scope: construction stamps a monotonic start time,
+// destruction appends one complete event (`"ph": "X"`) with pid/tid/ts/dur
+// in microseconds to the calling thread's buffer. trace_json() merges all
+// buffers into the standard `{"traceEvents": [...]}` wrapper, loadable in
+// chrome://tracing or https://ui.perfetto.dev (see docs/OBSERVABILITY.md).
+//
+// Cost contract: mirrors metrics.h / io::IoPolicy. Disarmed (the default),
+// a Span is one relaxed atomic load at construction and one branch at
+// destruction; no clock reads, no allocation. Armed, a span is two clock
+// reads plus an append to a thread-local vector guarded by a per-thread
+// mutex that only snapshots ever contend on.
+//
+// Category/name strings must be string literals (or otherwise outlive the
+// process): the buffer stores the pointers, not copies, to keep the armed
+// hot path allocation-free.
+//
+// Per-thread buffers are bounded (kMaxEventsPerThread); once full, further
+// spans are counted as dropped rather than grown — a trace run that
+// overflows still produces valid JSON plus a drop count.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ngsx::obs {
+
+namespace detail {
+
+extern std::atomic<int> g_tracing_on;
+
+constexpr size_t kMaxEventsPerThread = size_t{1} << 18;
+
+/// Out-of-line append of one complete event to the calling thread's buffer.
+void trace_emit(const char* category, const char* name, uint64_t start_ns,
+                uint64_t end_ns);
+
+}  // namespace detail
+
+/// Fast gate: true iff trace recording is armed for this process.
+inline bool tracing_enabled() {
+  return detail::g_tracing_on.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms / disarms trace recording process-wide. Spans opened while armed
+/// but closed after disarming still record (the decision is taken at
+/// construction).
+void enable_tracing(bool on = true);
+
+/// Names the calling thread in the trace (Chrome `thread_name` metadata
+/// event). No-op when tracing is disarmed. `name` must outlive the process
+/// (string literal).
+void set_thread_name(const char* name);
+
+/// RAII trace span. `category` groups rows in the viewer (one per layer:
+/// "exec", "bgzf", "io", "convert", "mpi"); `name` is the span label.
+/// Both must be string literals.
+class Span {
+ public:
+  Span(const char* category, const char* name) {
+    if (tracing_enabled()) {
+      category_ = category;
+      name_ = name;
+      start_ns_ = detail::monotonic_ns();
+    }
+  }
+  ~Span() {
+    if (category_ != nullptr) {
+      detail::trace_emit(category_, name_, start_ns_,
+                         detail::monotonic_ns());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+/// Stage instrumentation for the converter pipeline: one trace span plus
+/// runtime-registered `<prefix>.ns` / `<prefix>.calls` counters, recorded
+/// on destruction. Because the counters are registered only when the stage
+/// actually runs, a metrics snapshot names exactly the stages that
+/// executed — the CLI stage summary derives from this, which is what fixes
+/// the "stage wall time printed for skipped stages" bug.
+///
+/// Unlike Span, registration allocates; stages run once per conversion, so
+/// this is not a hot path.
+class StageScope {
+ public:
+  /// `prefix` e.g. "convert.stage.preprocess"; `category`/`name` as Span.
+  StageScope(const std::string& prefix, const char* category,
+             const char* name);
+  ~StageScope();
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  Span span_;
+  Counter* ns_ = nullptr;
+  Counter* calls_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+/// Serializes every recorded event to Chrome trace JSON:
+/// `{"traceEvents": [...]}`, one `"ph": "X"` object per span plus
+/// `"ph": "M"` thread_name metadata, ts/dur in microseconds. Thread-safe;
+/// may run while spans are still being recorded (those may or may not
+/// appear). No trailing newline.
+std::string trace_json();
+
+/// Total events currently buffered / dropped across all threads.
+uint64_t trace_event_count();
+uint64_t trace_dropped_count();
+
+/// Discards all buffered events and drop counts (tests / benches).
+void reset_tracing();
+
+}  // namespace ngsx::obs

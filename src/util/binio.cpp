@@ -11,6 +11,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/iopolicy.h"
 
 namespace ngsx {
@@ -19,6 +21,24 @@ namespace {
 
 std::string errno_message(const std::string& op, const std::string& path) {
   return op + " '" + path + "': " + std::strerror(errno);
+}
+
+// I/O observability (docs/OBSERVABILITY.md, layer "io"). Hooks are gated
+// on obs::metrics_enabled() — one relaxed load when disarmed, same as the
+// io::IoPolicy::armed() gate next to them.
+struct BinioMetrics {
+  obs::Counter& reads = obs::counter("io.binio.reads");
+  obs::Counter& read_bytes = obs::counter("io.binio.read_bytes");
+  obs::Counter& writes = obs::counter("io.binio.writes");
+  obs::Counter& write_bytes = obs::counter("io.binio.write_bytes");
+  obs::Counter& fsyncs = obs::counter("io.binio.fsyncs");
+  obs::Counter& retries = obs::counter("io.binio.retries");
+  obs::Counter& faults = obs::counter("io.binio.faults");
+};
+
+BinioMetrics& binio_metrics() {
+  static BinioMetrics m;
+  return m;
 }
 
 /// Consults the IoPolicy for one physical operation against `path`.
@@ -34,10 +54,16 @@ io::Decision io_consult(const std::string& path, io::Op op, const char* name,
   int attempt = 0;
   while (d.action == io::Decision::Action::kFail && d.transient &&
          attempt < io::kMaxTransientRetries) {
+    if (obs::metrics_enabled()) {
+      binio_metrics().retries.add(1);
+    }
     io::backoff(attempt++);
     d = io::IoPolicy::instance().check(path, op, bytes_so_far, request);
   }
   if (d.action == io::Decision::Action::kFail) {
+    if (obs::metrics_enabled()) {
+      binio_metrics().faults.add(1);
+    }
     throw IoError(io::fault_message(name, path, d.err));
   }
   return d;
@@ -89,6 +115,7 @@ InputFile& InputFile::operator=(InputFile&& other) noexcept {
 }
 
 size_t InputFile::pread(void* buf, size_t n, uint64_t offset) const {
+  obs::Span span("io", "pread");
   size_t want = n;
   if (io::IoPolicy::armed()) {
     io::Decision d = io_consult(path_, io::Op::kRead, "pread", offset, n);
@@ -121,6 +148,11 @@ size_t InputFile::pread(void* buf, size_t n, uint64_t offset) const {
                   std::to_string(n) + " bytes at offset " +
                   std::to_string(offset) + ", got " + std::to_string(total) +
                   " inside a file of " + std::to_string(size_) + " bytes");
+  }
+  if (obs::metrics_enabled()) {
+    BinioMetrics& m = binio_metrics();
+    m.reads.add(1);
+    m.read_bytes.add(total);
   }
   return total;
 }
@@ -192,6 +224,7 @@ void OutputFile::write(const void* data, size_t n) {
 }
 
 void OutputFile::write_physical(const char* data, size_t n) {
+  obs::Span span("io", "write");
   if (io::IoPolicy::armed()) {
     try {
       io_consult(path_, io::Op::kWrite, "write", physical_bytes_, n);
@@ -213,6 +246,11 @@ void OutputFile::write_physical(const char* data, size_t n) {
     total += static_cast<size_t>(put);
   }
   physical_bytes_ += n;
+  if (obs::metrics_enabled()) {
+    BinioMetrics& m = binio_metrics();
+    m.writes.add(1);
+    m.write_bytes.add(n);
+  }
 }
 
 void OutputFile::flush() {
@@ -260,6 +298,7 @@ void OutputFile::close() {
   if (finalized_) {
     return;
   }
+  obs::Span span("io", "commit");
   try {
     flush();
     if (commit_ == Commit::kAtomic) {
@@ -270,6 +309,9 @@ void OutputFile::close() {
       }
       if (::fsync(fd_) != 0) {
         throw IoError(errno_message("fsync", staging_));
+      }
+      if (obs::metrics_enabled()) {
+        binio_metrics().fsyncs.add(1);
       }
     }
     if (io::IoPolicy::armed()) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/convert.h"
+#include "obs/metrics.h"
 #include "formats/bam.h"
 #include "formats/sam.h"
 #include "simdata/readsim.h"
@@ -569,6 +570,54 @@ TEST(InputFileTransient, RetryAbsorbsTransientReadErrors) {
   char buf[17];
   ASSERT_EQ(in.pread(buf, sizeof(buf), 0), sizeof(buf));
   EXPECT_EQ(std::string(buf, sizeof(buf)), "transient payload");
+}
+
+/// Arms metrics for one test and restores the disarmed default on exit.
+struct MetricsScope {
+  MetricsScope() {
+    obs::reset_metrics();
+    obs::enable_metrics();
+  }
+  ~MetricsScope() { obs::enable_metrics(false); }
+};
+
+TEST(InputFileTransient, RetriesAreCountedInMetrics) {
+  MetricsScope armed;
+  TempDir tmp("transient-metrics");
+  const std::string path = tmp.file("in.bin");
+  write_file(path, "transient payload");
+  InputFile in(path);
+  // Two transient failures before success: io_consult retries in place,
+  // counting one io.binio.retries per absorbed failure, and never reaches
+  // the hard-fault path.
+  FaultScope scope("in.bin", make_fault(io::Op::kRead,
+                                        io::FaultKind::kTransient, 0,
+                                        /*times=*/2));
+  char buf[17];
+  ASSERT_EQ(in.pread(buf, sizeof(buf), 0), sizeof(buf));
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("io.binio.retries"), 2u);
+  EXPECT_EQ(snap.counter_value("io.binio.faults"), 0u);
+  EXPECT_GE(snap.counter_value("io.binio.reads"), 1u);
+}
+
+TEST(InputFileTransient, ExhaustedRetriesCountAsFault) {
+  MetricsScope armed;
+  TempDir tmp("fault-metrics");
+  const std::string path = tmp.file("in.bin");
+  write_file(path, "doomed payload");
+  InputFile in(path);
+  // More transient failures than the retry budget: the hook must count
+  // every retry attempt and then exactly one hard fault for the throw.
+  FaultScope scope("in.bin",
+                   make_fault(io::Op::kRead, io::FaultKind::kTransient, 0,
+                              /*times=*/io::kMaxTransientRetries + 1));
+  char buf[14];
+  EXPECT_THROW(in.pread(buf, sizeof(buf), 0), IoError);
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("io.binio.retries"),
+            static_cast<uint64_t>(io::kMaxTransientRetries));
+  EXPECT_EQ(snap.counter_value("io.binio.faults"), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,461 @@
+// Tests for the observability layer (src/obs/, docs/OBSERVABILITY.md):
+// concurrent counter/histogram correctness under the exec pool, snapshot
+// merge determinism, and trace/metrics JSON validity against the
+// documented schema. JSON output is checked with a small structural JSON
+// parser rather than substring matching, so a serializer bug that produces
+// syntactically invalid JSON always fails here.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "exec/pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/common.h"
+
+namespace ngsx {
+namespace {
+
+/// Arms metrics (and optionally tracing) for one test, restoring the
+/// disarmed default on exit so tests cannot leak state into each other.
+struct ObsScope {
+  explicit ObsScope(bool tracing = false) {
+    obs::reset_metrics();
+    obs::reset_tracing();
+    obs::enable_metrics();
+    if (tracing) {
+      obs::enable_tracing();
+    }
+  }
+  ~ObsScope() {
+    obs::enable_metrics(false);
+    obs::enable_tracing(false);
+  }
+};
+
+// ------------------------------------------------- minimal JSON validator
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  bool has(const std::string& key) const {
+    return is_object() && object().count(key) != 0;
+  }
+  const JsonValue& at(const std::string& key) const {
+    return object().at(key);
+  }
+};
+
+/// Strict-enough recursive-descent JSON parser for the test's needs
+/// (no \uXXXX decoding — escapes are kept verbatim). Throws UsageError on
+/// malformed input.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw UsageError("JSON parse error at offset " + std::to_string(pos_) +
+                     ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return number();
+    }
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+    }
+    pos_ += word.size();
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        out += c;
+        out += peek();
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      out += c;
+    }
+  }
+
+  JsonValue number() {
+    size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+    }
+    return JsonValue{std::stod(std::string(text_.substr(start, pos_ - start)))};
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{out};
+    }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return JsonValue{out};
+      }
+      expect(',');
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{out};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.emplace(std::move(key), value());
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return JsonValue{out};
+      }
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+// ----------------------------------------------------------- registration
+
+TEST(ObsRegistry, HandlesAreIdempotent) {
+  obs::Counter& a = obs::counter("test.registry.counter");
+  obs::Counter& b = obs::counter("test.registry.counter");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& h1 = obs::histogram("test.registry.hist");
+  obs::Histogram& h2 = obs::histogram("test.registry.hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  obs::counter("test.registry.kind");
+  EXPECT_THROW(obs::gauge("test.registry.kind"), UsageError);
+  EXPECT_THROW(obs::histogram("test.registry.kind"), UsageError);
+}
+
+TEST(ObsRegistry, DisarmedHooksRecordNothing) {
+  obs::Counter& c = obs::counter("test.disarmed.counter");
+  obs::Histogram& h = obs::histogram("test.disarmed.hist");
+  obs::reset_metrics();
+  ASSERT_FALSE(obs::metrics_enabled());
+  c.add(7);
+  h.record(42);
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("test.disarmed.counter"), 0u);
+  const obs::HistogramSnapshot* hs =
+      snap.histogram_value("test.disarmed.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 0u);
+}
+
+// ------------------------------------------------------------ concurrency
+
+TEST(ObsConcurrency, CountersAreExactUnderThePool) {
+  ObsScope armed;
+  obs::Counter& c = obs::counter("test.pool.counter");
+  obs::Gauge& g = obs::gauge("test.pool.gauge");
+  constexpr int kTasks = 64;
+  constexpr int kIncrements = 1000;
+  exec::Pool pool(4);
+  exec::TaskGroup group(pool);
+  for (int t = 0; t < kTasks; ++t) {
+    group.spawn([&c, &g] {
+      for (int i = 0; i < kIncrements; ++i) {
+        c.add(1);
+        g.add(3);
+        g.sub(2);
+      }
+    });
+  }
+  group.wait();
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("test.pool.counter"),
+            static_cast<uint64_t>(kTasks) * kIncrements);
+  EXPECT_EQ(snap.gauge_value("test.pool.gauge"),
+            static_cast<int64_t>(kTasks) * kIncrements);
+  // The pool's own instrumentation saw every spawned task.
+  EXPECT_GE(snap.counter_value("exec.pool.tasks"),
+            static_cast<uint64_t>(kTasks));
+}
+
+TEST(ObsConcurrency, HistogramTotalsAreExactUnderThePool) {
+  ObsScope armed;
+  obs::Histogram& h = obs::histogram("test.pool.hist");
+  constexpr int kTasks = 32;
+  constexpr uint64_t kPerTask = 500;
+  exec::Pool pool(4);
+  exec::TaskGroup group(pool);
+  for (int t = 0; t < kTasks; ++t) {
+    group.spawn([&h, t] {
+      for (uint64_t i = 0; i < kPerTask; ++i) {
+        h.record(static_cast<uint64_t>(t) * kPerTask + i);
+      }
+    });
+  }
+  group.wait();
+  const obs::HistogramSnapshot* hs =
+      obs::snapshot().histogram_value("test.pool.hist");
+  ASSERT_NE(hs, nullptr);
+  const uint64_t n = static_cast<uint64_t>(kTasks) * kPerTask;
+  EXPECT_EQ(hs->count, n);
+  EXPECT_EQ(hs->sum, n * (n - 1) / 2);  // values were 0 .. n-1
+  EXPECT_EQ(hs->min, 0u);
+  EXPECT_EQ(hs->max, n - 1);
+}
+
+TEST(ObsConcurrency, ExitedThreadTotalsSurviveInSnapshots) {
+  ObsScope armed;
+  obs::Counter& c = obs::counter("test.exit.counter");
+  std::thread worker([&c] { c.add(123); });
+  worker.join();
+  // The worker's shard was retired at thread exit; its counts must fold
+  // into the registry rather than vanish.
+  EXPECT_EQ(obs::snapshot().counter_value("test.exit.counter"), 123u);
+}
+
+TEST(ObsSnapshot, MergeIsDeterministic) {
+  ObsScope armed;
+  obs::counter("test.det.a").add(5);
+  obs::gauge("test.det.b").add(-4);
+  obs::histogram("test.det.c").record(17);
+  obs::Snapshot s1 = obs::snapshot();
+  obs::Snapshot s2 = obs::snapshot();
+  EXPECT_EQ(obs::metrics_json(s1), obs::metrics_json(s2));
+  EXPECT_EQ(s1.counters, s2.counters);
+  EXPECT_EQ(s1.gauges, s2.gauges);
+}
+
+// ------------------------------------------------------- histogram shape
+
+TEST(ObsHistogram, Log2BucketPlacement) {
+  ObsScope armed;
+  obs::Histogram& h = obs::histogram("test.buckets.hist");
+  // Bucket index is bit_width(value): 0 -> 0, 1 -> 1, [2,3] -> 2, ...
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  h.record(1024);
+  const obs::HistogramSnapshot* hs =
+      obs::snapshot().histogram_value("test.buckets.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->buckets[0], 1u);   // value 0
+  EXPECT_EQ(hs->buckets[1], 1u);   // value 1
+  EXPECT_EQ(hs->buckets[2], 2u);   // values 2, 3
+  EXPECT_EQ(hs->buckets[3], 1u);   // value 4
+  EXPECT_EQ(hs->buckets[11], 1u);  // value 1024
+  EXPECT_EQ(hs->count, 6u);
+  EXPECT_EQ(hs->min, 0u);
+  EXPECT_EQ(hs->max, 1024u);
+}
+
+TEST(ObsHistogram, ScopedLatencyRecordsOnDestruction) {
+  ObsScope armed;
+  obs::Histogram& h = obs::histogram("test.latency.hist");
+  { obs::ScopedLatency lat(h); }
+  const obs::HistogramSnapshot* hs =
+      obs::snapshot().histogram_value("test.latency.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 1u);
+}
+
+// ------------------------------------------------------------ JSON schema
+
+TEST(ObsMetricsJson, MatchesDocumentedSchema) {
+  ObsScope armed;
+  obs::counter("test.json.counter").add(3);
+  obs::gauge("test.json.gauge").add(-2);
+  obs::histogram("test.json.hist").record(100);
+  JsonValue root = parse_json(obs::metrics_json());
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.has("schema"));
+  EXPECT_EQ(root.at("schema").str(), "ngsx.metrics.v1");
+  ASSERT_TRUE(root.has("counters"));
+  ASSERT_TRUE(root.has("gauges"));
+  ASSERT_TRUE(root.has("histograms"));
+  EXPECT_EQ(root.at("counters").at("test.json.counter").number(), 3.0);
+  EXPECT_EQ(root.at("gauges").at("test.json.gauge").number(), -2.0);
+  const JsonValue& hist = root.at("histograms").at("test.json.hist");
+  ASSERT_TRUE(hist.is_object());
+  for (const char* key : {"count", "sum", "min", "max", "buckets"}) {
+    EXPECT_TRUE(hist.has(key)) << key;
+  }
+  ASSERT_TRUE(hist.at("buckets").is_array());
+  ASSERT_EQ(hist.at("buckets").array().size(), 1u);  // one non-empty bucket
+  const JsonValue& bucket = hist.at("buckets").array()[0];
+  EXPECT_EQ(bucket.at("le").number(), 127.0);  // 100 has bit_width 7
+  EXPECT_EQ(bucket.at("count").number(), 1.0);
+}
+
+TEST(ObsTraceJson, MatchesChromeTraceSchema) {
+  ObsScope armed(/*tracing=*/true);
+  obs::set_thread_name("test.main");
+  { obs::Span span("test", "outer"); }
+  exec::Pool pool(2);
+  exec::TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.spawn([] { obs::Span span("test", "task"); });
+  }
+  group.wait();
+  ASSERT_GE(obs::trace_event_count(), 9u);
+  EXPECT_EQ(obs::trace_dropped_count(), 0u);
+
+  JsonValue root = parse_json(obs::trace_json());
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.has("traceEvents"));
+  ASSERT_TRUE(root.at("traceEvents").is_array());
+  size_t complete_events = 0;
+  size_t metadata_events = 0;
+  for (const JsonValue& ev : root.at("traceEvents").array()) {
+    ASSERT_TRUE(ev.is_object());
+    ASSERT_TRUE(ev.has("ph"));
+    ASSERT_TRUE(ev.has("pid"));
+    ASSERT_TRUE(ev.has("tid"));
+    const std::string& ph = ev.at("ph").str();
+    if (ph == "X") {
+      ++complete_events;
+      for (const char* key : {"cat", "name", "ts", "dur"}) {
+        ASSERT_TRUE(ev.has(key)) << key;
+      }
+      EXPECT_GE(ev.at("dur").number(), 0.0);
+    } else {
+      ASSERT_EQ(ph, "M");
+      ++metadata_events;
+      EXPECT_EQ(ev.at("name").str(), "thread_name");
+    }
+  }
+  EXPECT_GE(complete_events, 9u);
+  EXPECT_GE(metadata_events, 1u);  // the named main thread
+}
+
+TEST(ObsTrace, DisarmedSpansCostNothingAndRecordNothing) {
+  obs::reset_tracing();
+  ASSERT_FALSE(obs::tracing_enabled());
+  { obs::Span span("test", "disarmed"); }
+  obs::set_thread_name("ignored");
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(ObsStageScope, RegistersOnlyWhenTheStageRuns) {
+  ObsScope armed;
+  {
+    obs::StageScope stage("convert.stage.obs_test_ran", "convert",
+                          "obs_test_ran");
+  }
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("convert.stage.obs_test_ran.calls"), 1u);
+  EXPECT_GT(snap.counter_value("convert.stage.obs_test_ran.ns"), 0u);
+  // A stage that never ran must not appear in the snapshot at all — this
+  // is what keeps skipped stages out of the CLI summary.
+  bool found_skipped = false;
+  for (const auto& [name, value] : snap.counters) {
+    found_skipped |= name == "convert.stage.obs_test_skipped.ns";
+  }
+  EXPECT_FALSE(found_skipped);
+}
+
+}  // namespace
+}  // namespace ngsx
