@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "cluster/costmodel.h"
 #include "core/convert.h"
+#include "formats/bam.h"
 #include "simdata/readsim.h"
 #include "util/cli.h"
 #include "util/tempdir.h"
@@ -46,6 +47,35 @@ int main(int argc, char** argv) {
                 "M=1 and M=4 record totals %s\n",
                 static_cast<unsigned long long>(one.records),
                 one.records == four.records ? "agree" : "DISAGREE");
+
+    // Same property for the BAM side: the single-pass parallel
+    // preprocessor's shard manifest must convert to the same record total
+    // as the sequential two-pass BAMX.
+    const std::string bam_path = tmp.file("in.bam");
+    {
+      simdata::ReadSimConfig bcfg;
+      bcfg.seed = 11;
+      auto records = simdata::simulate_alignments(genome, 4000, bcfg);
+      bam::BamFileWriter w(bam_path, genome.header());
+      for (const auto& r : records) {
+        w.write(r);
+      }
+      w.close();
+    }
+    auto seq = core::preprocess_bam(bam_path, tmp.file("seq.bamx"),
+                                    tmp.file("seq.baix"));
+    core::PreprocessOptions popt;
+    popt.threads = 4;
+    auto par = core::preprocess_bam_parallel(bam_path, tmp.file("par.bamxm"),
+                                             tmp.file("par.baix"), popt);
+    std::printf("functional check: BAM two-pass and one-pass record totals "
+                "%s (%llu records), BAIX files %s\n",
+                seq.records == par.records ? "agree" : "DISAGREE",
+                static_cast<unsigned long long>(par.records),
+                read_file(tmp.file("seq.baix")) ==
+                        read_file(tmp.file("par.baix"))
+                    ? "identical"
+                    : "DIFFER");
   }
 
   auto costs = cluster::calibrate_conversion(pairs, /*seed=*/10);

@@ -42,14 +42,23 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --in FILE.{sam,bam} --to FORMAT --out DIR\n"
                "          [--ranks N] [--region chr:beg-end]\n"
+               "          [--region-mode start|overlap]\n"
                "          [--schedule static|dynamic] [--threads T]\n"
-               "          [--decode-threads D] [--preprocess [--m M]]\n"
+               "          [--decode-threads D] [--preprocess-threads P]\n"
+               "          [--preprocess [--m M]]\n"
                "          [--no-header] [--metrics FILE.json]\n"
                "          [--trace FILE.json]\n"
                "FORMAT: sam bam bed bedgraph fasta fastq json yaml\n"
                "--ranks 0 / --threads 0 / --decode-threads 0 auto-detect\n"
                "the hardware width; --decode-threads sets the BGZF inflate\n"
                "workers used while reading BAM input\n"
+               "--preprocess-threads sets the BAM preprocessing width:\n"
+               "1 runs the sequential two-pass preprocessor, anything else\n"
+               "(0 = auto) runs the single-pass parallel preprocessor that\n"
+               "emits a BAMXM shard manifest\n"
+               "--region-mode start (default) keeps the BAIX start-keyed\n"
+               "query; overlap builds a BAIX v2 and selects every alignment\n"
+               "overlapping the region (see docs/FILEFORMATS.md)\n"
                "--metrics writes a ngsx.metrics.v1 snapshot, --trace a\n"
                "Chrome-trace JSON (see docs/OBSERVABILITY.md)\n",
                prog);
@@ -135,21 +144,54 @@ int main(int argc, char** argv) {
     options.decode_threads = static_cast<int>(decode_request);
     const std::string region_text = args.get("region", "");
 
+    const std::string region_mode_text = args.get("region-mode", "start");
+    if (region_mode_text != "start" && region_mode_text != "overlap") {
+      throw UsageError("--region-mode must be start or overlap");
+    }
+
     core::ConvertStats stats;
     if (strutil::ends_with(in, ".bam")) {
       // BAM path: preprocess (III-B), then full or partial conversion.
-      const std::string bamx = out + "/input.bamx";
+      // --preprocess-threads 1 keeps the sequential two-pass preprocessor
+      // (monolithic .bamx); any other value runs the single-pass parallel
+      // preprocessor, which emits a BAMXM shard manifest the conversion
+      // phase consumes transparently.
+      const int64_t preprocess_request = args.get_int("preprocess-threads", 0);
+      if (preprocess_request < 0) {
+        throw UsageError("--preprocess-threads must be >= 0 (0 = auto)");
+      }
       const std::string baix = out + "/input.baix";
       std::filesystem::create_directories(out);
-      auto pre = core::preprocess_bam(in, bamx, baix, options.decode_threads);
+      std::string bamx;
+      core::PreprocessStats pre;
+      if (preprocess_request == 1) {
+        bamx = out + "/input.bamx";
+        pre = core::preprocess_bam(in, bamx, baix, options.decode_threads);
+      } else {
+        bamx = out + "/input.bamxm";
+        core::PreprocessOptions popt;
+        popt.threads = static_cast<int>(preprocess_request);
+        popt.decode_threads = options.decode_threads;
+        pre = core::preprocess_bam_parallel(in, bamx, baix, popt);
+      }
       std::fprintf(stderr, "preprocessed %llu records in %.2f s\n",
                    static_cast<unsigned long long>(pre.records), pre.seconds);
       std::optional<core::Region> region;
       if (!region_text.empty()) {
-        bamx::BamxReader probe(bamx);
-        region = core::parse_region(region_text, probe.header());
+        auto probe = bamx::open_record_source(bamx);
+        region = core::parse_region(region_text, probe->header());
       }
-      stats = core::convert_bamx(bamx, baix, out, options, region);
+      if (region.has_value() && region_mode_text == "overlap") {
+        // Overlap semantics need interval ends — the start-keyed BAIX v1
+        // cannot answer them, so build the v2 index and convert through it.
+        const std::string baix2 = out + "/input.baix2";
+        core::build_baix2(bamx, baix2);
+        stats = core::convert_bamx_filtered(bamx, baix2, out, options,
+                                            *region,
+                                            baix2::RegionMode::kOverlap);
+      } else {
+        stats = core::convert_bamx(bamx, baix, out, options, region);
+      }
     } else if (args.get_bool("preprocess", false)) {
       // Preprocessing-optimized SAM converter (III-C): M x N part files.
       if (!region_text.empty()) {

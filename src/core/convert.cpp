@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <functional>
+#include <iterator>
 
 #include "core/partition.h"
 #include "exec/pipeline.h"
@@ -449,6 +450,245 @@ PreprocessStats preprocess_bam(const std::string& bam_path,
   return stats;
 }
 
+PreprocessStats preprocess_bam_parallel(const std::string& bam_path,
+                                        const std::string& manifest_path,
+                                        const std::string& baix_path,
+                                        const PreprocessOptions& options) {
+  obs::StageScope stage("convert.stage.preprocess", "convert", "preprocess");
+  WallTimer timer;
+  PreprocessStats stats;
+  stats.bytes_in = ngsx::file_size(bam_path);
+
+  const int threads =
+      options.threads > 0 ? options.threads : exec::hardware_threads();
+  const int n_shards = options.shards > 0 ? options.shards : threads;
+  const uint64_t chunk_records =
+      std::max<uint64_t>(options.chunk_records, 1);
+  const std::string stem =
+      strutil::ends_with(manifest_path, ".bamxm")
+          ? manifest_path.substr(0, manifest_path.size() - 6)
+          : manifest_path;
+
+  exec::Pool pool(threads);
+  bam::BamFileReader reader(bam_path, options.decode_threads);
+  const SamHeader header = reader.header();
+
+  // One raw chunk = the framed (but undecoded) bodies of up to
+  // chunk_records BAM records; one encoded chunk = those records under a
+  // chunk-local layout, plus the chunk's sorted BAIX run.
+  struct RawChunk {
+    std::string bytes;
+    std::vector<uint32_t> sizes;
+  };
+  struct EncodedChunk {
+    bamx::BamxLayout layout;
+    std::string blob;
+    std::vector<bamx::BaixEntry> entries;
+  };
+  /// A committed chunk inside the staging file, still on its local layout.
+  struct Segment {
+    bamx::BamxLayout layout;
+    uint64_t n_records = 0;
+    uint64_t offset = 0;
+  };
+
+  // The staging file holds the local-layout chunk blobs between the
+  // pipeline and the re-stride pass; it is scratch, never published, and
+  // removed on every exit path.
+  const std::string staging_path = manifest_path + ".segs.tmp";
+  struct StagingGuard {
+    std::string path;
+    ~StagingGuard() {
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+  } staging_guard{staging_path};
+
+  std::vector<Segment> segments;
+  std::vector<std::vector<bamx::BaixEntry>> runs;
+  bamx::BamxLayout global;
+  uint64_t total_records = 0;
+  uint64_t staging_bytes = 0;
+
+  // Stage 1 — the single pass: serial framing source, parallel
+  // parse+encode workers, ordered committer (ticket order == file order,
+  // so record bases and the staged byte order equal the sequential pass).
+  {
+    obs::Span span("convert", "preprocess.pipeline");
+    OutputFile staging(staging_path, 1 << 20, OutputFile::Commit::kDirect);
+    try {
+      exec::PipelineOptions popt;
+      popt.workers = threads;
+      exec::ordered_pipeline<RawChunk, EncodedChunk>(
+          pool,
+          [&](RawChunk& chunk) {
+            obs::Span frame_span("convert", "preprocess.frame");
+            std::string body;
+            while (chunk.sizes.size() < chunk_records &&
+                   reader.next_raw(body)) {
+              chunk.sizes.push_back(static_cast<uint32_t>(body.size()));
+              chunk.bytes += body;
+            }
+            return !chunk.sizes.empty();
+          },
+          [&](RawChunk&& chunk, uint64_t) {
+            obs::Span encode_span("convert", "preprocess.encode");
+            EncodedChunk out;
+            std::vector<AlignmentRecord> recs(chunk.sizes.size());
+            size_t off = 0;
+            for (size_t k = 0; k < chunk.sizes.size(); ++k) {
+              bam::decode_record(
+                  std::string_view(chunk.bytes).substr(off, chunk.sizes[k]),
+                  recs[k]);
+              out.layout.accommodate(recs[k]);
+              off += chunk.sizes[k];
+            }
+            out.blob.reserve(recs.size() * out.layout.stride());
+            out.entries.reserve(recs.size());
+            for (size_t k = 0; k < recs.size(); ++k) {
+              bamx::encode_record(recs[k], out.layout, out.blob);
+              out.entries.push_back(
+                  bamx::BaixEntry{recs[k].ref_id, recs[k].pos, k});
+            }
+            std::stable_sort(out.entries.begin(), out.entries.end(),
+                             bamx::baix_entry_less);
+            return out;
+          },
+          [&](EncodedChunk&& chunk, uint64_t) {
+            obs::Span commit_span("convert", "preprocess.commit");
+            const uint64_t n = chunk.entries.size();
+            for (bamx::BaixEntry& e : chunk.entries) {
+              e.record_index += total_records;
+            }
+            runs.push_back(std::move(chunk.entries));
+            segments.push_back(Segment{chunk.layout, n, staging_bytes});
+            staging.write(chunk.blob);
+            staging_bytes += chunk.blob.size();
+            global.merge(chunk.layout);
+            total_records += n;
+          },
+          popt);
+      staging.close();
+    } catch (...) {
+      staging.discard();
+      throw;
+    }
+  }
+  stats.records = total_records;
+  if (obs::metrics_enabled()) {
+    obs::counter("convert.preprocess.chunks").add(segments.size());
+    obs::counter("convert.preprocess.shards").add(n_shards);
+  }
+
+  // Stage 2a — parallel re-stride: each shard owner copies its record
+  // range out of the staging segments into a final atomic-commit BAMX
+  // carrying the merged global layout. Per-section byte copies — no
+  // re-parse; restride_record output is bit-identical to a direct encode
+  // under the global layout.
+  std::vector<uint64_t> seg_bases(segments.size() + 1, 0);
+  for (size_t s = 0; s < segments.size(); ++s) {
+    seg_bases[s + 1] = seg_bases[s] + segments[s].n_records;
+  }
+  auto shard_ranges = split_records(total_records, n_shards);
+  const fs::path stem_path(stem);
+  const std::string shard_dir = stem_path.has_parent_path()
+                                    ? stem_path.parent_path().string()
+                                    : std::string(".");
+  const std::string shard_stem = stem_path.filename().string();
+  bamx::BamxManifest manifest;
+  manifest.layout = global;
+  manifest.n_records = total_records;
+  manifest.shards.resize(static_cast<size_t>(n_shards));
+  {
+    obs::Span span("convert", "preprocess.restride");
+    InputFile staged(staging_path);
+    exec::TaskGroup group(pool);
+    for (int s = 0; s < n_shards; ++s) {
+      group.spawn([&, s] {
+        auto [lo, hi] = shard_ranges[static_cast<size_t>(s)];
+        const std::string shard_name =
+            shard_stem + "-shard-" + std::to_string(s) + ".bamx";
+        bamx::BamxWriter writer(shard_dir + "/" + shard_name, header, global);
+        size_t seg = static_cast<size_t>(
+            std::upper_bound(seg_bases.begin(), seg_bases.end() - 1, lo) -
+            seg_bases.begin() - 1);
+        std::string bytes;
+        std::string rec_out;
+        for (uint64_t at = lo; at < hi;) {
+          while (seg_bases[seg + 1] <= at) {
+            ++seg;
+          }
+          const Segment& segment = segments[seg];
+          const uint64_t from_stride = segment.layout.stride();
+          const uint64_t take =
+              std::min<uint64_t>(hi, seg_bases[seg + 1]) - at;
+          bytes = staged.read_at(
+              segment.offset + (at - seg_bases[seg]) * from_stride,
+              static_cast<size_t>(take * from_stride));
+          for (uint64_t k = 0; k < take; ++k) {
+            rec_out.clear();
+            bamx::restride_record(
+                std::string_view(bytes).substr(
+                    static_cast<size_t>(k * from_stride),
+                    static_cast<size_t>(from_stride)),
+                segment.layout, global, rec_out);
+            writer.write_raw(rec_out);
+          }
+          at += take;
+        }
+        writer.close();
+        manifest.shards[static_cast<size_t>(s)] =
+            bamx::ManifestShard{shard_name, hi - lo, lo};
+      });
+    }
+    group.wait();
+  }
+
+  // Stage 2b — parallel BAIX merge: pairwise-merge the per-chunk sorted
+  // runs on the pool. std::merge takes the left run on ties and runs are
+  // in ticket (= record) order, so the result equals from_entries'
+  // stable_sort over all entries.
+  {
+    obs::Span span("convert", "preprocess.index");
+    while (runs.size() > 1) {
+      std::vector<std::vector<bamx::BaixEntry>> next((runs.size() + 1) / 2);
+      exec::TaskGroup group(pool);
+      for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+        group.spawn([&, i] {
+          std::vector<bamx::BaixEntry> merged;
+          merged.reserve(runs[i].size() + runs[i + 1].size());
+          std::merge(runs[i].begin(), runs[i].end(), runs[i + 1].begin(),
+                     runs[i + 1].end(), std::back_inserter(merged),
+                     bamx::baix_entry_less);
+          next[i / 2] = std::move(merged);
+        });
+      }
+      if (runs.size() % 2 != 0) {
+        next.back() = std::move(runs.back());
+      }
+      group.wait();
+      runs = std::move(next);
+    }
+    std::vector<bamx::BaixEntry> entries =
+        runs.empty() ? std::vector<bamx::BaixEntry>{} : std::move(runs[0]);
+    bamx::BaixIndex::from_sorted_entries(std::move(entries)).save(baix_path);
+  }
+
+  // The manifest is published last: readers can never observe a manifest
+  // whose shards are not all committed under their final names.
+  manifest.save(manifest_path);
+
+  stats.bytes_out = ngsx::file_size(manifest_path) + ngsx::file_size(baix_path);
+  for (const bamx::ManifestShard& s : manifest.shards) {
+    stats.bytes_out += ngsx::file_size(shard_dir + "/" + s.path);
+  }
+  stats.bamx_paths = {manifest_path};
+  stats.baix_paths = {baix_path};
+  stats.seconds = timer.seconds();
+  record_preprocess_stats(stats);
+  return stats;
+}
+
 ConvertStats convert_bamx(const std::string& bamx_path,
                           const std::string& baix_path,
                           const std::string& out_dir,
@@ -459,7 +699,10 @@ ConvertStats convert_bamx(const std::string& bamx_path,
   fs::create_directories(out_dir);
 
   // Open once to learn the header/geometry; ranks reopen independently.
-  bamx::BamxReader probe(bamx_path);
+  // The path is sniffed by magic: a monolithic .bamx or a .bamxm shard
+  // manifest both satisfy the RecordSource contract.
+  auto probe_ptr = bamx::open_record_source(bamx_path);
+  const bamx::RecordSource& probe = *probe_ptr;
   const SamHeader header = probe.header();
   const uint64_t n_records = probe.num_records();
   const uint64_t stride = probe.layout().stride();
@@ -523,7 +766,8 @@ ConvertStats convert_bamx(const std::string& bamx_path,
   WallTimer timer;
   mpi::run(options.ranks, [&](mpi::Comm& comm) {
     const int rank = comm.rank();
-    bamx::BamxReader reader(bamx_path);
+    auto reader_ptr = bamx::open_record_source(bamx_path);
+    const bamx::RecordSource& reader = *reader_ptr;
     const std::string out_path = part_path(out_dir, rank, options.format);
     outputs[static_cast<size_t>(rank)] = out_path;
     auto writer = make_target_writer(options.format, out_path, header,
@@ -581,8 +825,8 @@ ConvertStats convert_bamx(const std::string& bamx_path,
 void build_baix2(const std::string& bamx_path,
                  const std::string& baix2_path) {
   obs::StageScope stage("convert.stage.index", "convert", "build_baix2");
-  bamx::BamxReader reader(bamx_path);
-  baix2::Baix2Index::build(reader).save(baix2_path);
+  auto reader = bamx::open_record_source(bamx_path);
+  baix2::Baix2Index::build(*reader).save(baix2_path);
 }
 
 ConvertStats convert_bamx_filtered(const std::string& bamx_path,
@@ -596,7 +840,8 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
   obs::StageScope stage("convert.stage.convert", "convert", "convert");
   fs::create_directories(out_dir);
 
-  bamx::BamxReader probe(bamx_path);
+  auto probe_ptr = bamx::open_record_source(bamx_path);
+  const bamx::RecordSource& probe = *probe_ptr;
   const SamHeader header = probe.header();
   const uint64_t stride = probe.layout().stride();
 
@@ -632,7 +877,8 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
   WallTimer timer;
   mpi::run(options.ranks, [&](mpi::Comm& comm) {
     const int rank = comm.rank();
-    bamx::BamxReader reader(bamx_path);
+    auto reader_ptr = bamx::open_record_source(bamx_path);
+    const bamx::RecordSource& reader = *reader_ptr;
     const std::string out_path = part_path(out_dir, rank, options.format);
     outputs[static_cast<size_t>(rank)] = out_path;
     auto writer = make_target_writer(options.format, out_path, header,

@@ -125,9 +125,40 @@ PreprocessStats preprocess_bam(const std::string& bam_path,
                                const std::string& baix_path,
                                int decode_threads = 0);
 
-/// Parallel conversion phase over a preprocessed BAMX file. With `region`,
-/// performs partial conversion: the BAIX is binary-searched for the region
-/// and only the matching records are fetched (random access) and converted.
+/// Options for the single-pass parallel BAM preprocessor.
+struct PreprocessOptions {
+  int threads = 0;         // parse+encode pipeline workers; 0 => hardware
+  int decode_threads = 0;  // BGZF inflate workers; 0 => auto
+  int shards = 0;          // M output shards; 0 => threads
+  size_t chunk_records = 4096;  // records per pipeline ticket
+};
+
+/// Single-pass parallel preprocessing: BAM -> M BAMX shards + BAMXM
+/// manifest + merged BAIX. Record framing stays serial (the §III-B
+/// constraint) but runs once, feeding an exec::ordered_pipeline whose
+/// workers parse and encode chunks under chunk-local layouts; the ordered
+/// committer stages the chunk blobs and merges the global layout, and a
+/// final parallel pass re-strides the staged records into M shards carrying
+/// the global layout while the per-chunk sorted BAIX runs are merged on the
+/// pool. The published BAMX record bytes and BAIX are bit-identical to the
+/// sequential two-pass preprocess_bam output (the shards concatenate to its
+/// data section), so conversion output is byte-identical too.
+///
+/// Writes `manifest_path` (must end in ".bamxm"), shards named
+/// "<manifest stem>-shard-<k>.bamx" next to it, and `baix_path`. Shards
+/// are committed atomically and the manifest is written last, so a failure
+/// mid-preprocess never publishes a partial shard or a manifest pointing at
+/// one.
+PreprocessStats preprocess_bam_parallel(const std::string& bam_path,
+                                        const std::string& manifest_path,
+                                        const std::string& baix_path,
+                                        const PreprocessOptions& options = {});
+
+/// Parallel conversion phase over a preprocessed BAMX file — either a
+/// monolithic .bamx or a .bamxm shard manifest (`bamx_path` is sniffed by
+/// magic). With `region`, performs partial conversion: the BAIX is
+/// binary-searched for the region and only the matching records are
+/// fetched (random access) and converted.
 ConvertStats convert_bamx(const std::string& bamx_path,
                           const std::string& baix_path,
                           const std::string& out_dir,

@@ -75,26 +75,42 @@ std::vector<ByteRange> partition_sam_forward(const InputFile& file,
   return ranges;
 }
 
+std::vector<ByteRange> assemble_backward_ranges(ByteRange body,
+                                                std::vector<uint64_t> ends) {
+  // Clamp every tentative end into the body, then force the sequence
+  // monotone non-decreasing (prefix maximum). A backward scan that crossed
+  // a preceding rank's boundary then collapses that rank to an empty range
+  // instead of re-claiming bytes an earlier rank already owns — the old
+  // per-rank begin>end clamp kept the stale smaller end and emitted
+  // overlapping ranges, duplicating lines across ranks.
+  uint64_t running = body.begin;
+  for (uint64_t& end : ends) {
+    end = std::clamp(end, body.begin, body.end);
+    running = std::max(running, end);
+    end = running;
+  }
+  std::vector<ByteRange> ranges(ends.size() + 1);
+  uint64_t cursor = body.begin;
+  for (size_t r = 0; r < ends.size(); ++r) {
+    ranges[r] = ByteRange{cursor, ends[r]};
+    cursor = ends[r];
+  }
+  ranges.back() = ByteRange{cursor, body.end};
+  return ranges;
+}
+
 std::vector<ByteRange> partition_sam_backward(const InputFile& file,
                                               ByteRange body, int n) {
   std::vector<ByteRange> ranges = split_even(body.begin, body.size(), n);
-  // Adjust ending points backward for ranks 0..N-2, then propagate each new
-  // end to the succeeding rank's start.
+  // Adjust ending points backward for ranks 0..N-2 (Algorithm 1, backward
+  // variant), then assemble disjoint contiguous ranges from them.
+  std::vector<uint64_t> ends;
+  ends.reserve(ranges.size() - 1);
   for (size_t r = 0; r + 1 < ranges.size(); ++r) {
-    ranges[r].end =
-        scan_backward_to_line_start(file, ranges[r].end, body.begin);
+    ends.push_back(
+        scan_backward_to_line_start(file, ranges[r].end, body.begin));
   }
-  for (size_t r = 1; r < ranges.size(); ++r) {
-    ranges[r].begin = ranges[r - 1].end;
-  }
-  // Guard against degenerate tiny partitions where a backward scan crossed
-  // a preceding boundary: clamp to keep ranges monotone.
-  for (size_t r = 1; r < ranges.size(); ++r) {
-    if (ranges[r].begin > ranges[r].end) {
-      ranges[r].end = ranges[r].begin;
-    }
-  }
-  return ranges;
+  return assemble_backward_ranges(body, std::move(ends));
 }
 
 ByteRange partition_sam_distributed(const InputFile& file, ByteRange body,

@@ -62,6 +62,17 @@ std::vector<ByteRange> partition_sam_forward(const InputFile& file,
 std::vector<ByteRange> partition_sam_backward(const InputFile& file,
                                               ByteRange body, int n);
 
+/// Assembles the backward variant's final ranges from the tentative ends
+/// of ranks 0..n-2 (`ends` has n-1 entries; rank n-1 always ends at
+/// `body.end`). Each end is clamped into `body`, then forced monotone
+/// non-decreasing by a running prefix maximum, and each rank's begin is the
+/// preceding rank's end — so the result is provably a disjoint, contiguous
+/// cover of `body` for *any* scan results, including tentative ends that
+/// crossed a preceding rank's boundary on newline-sparse bodies (which the
+/// old per-rank begin>end clamp turned into overlapping ranges).
+std::vector<ByteRange> assemble_backward_ranges(ByteRange body,
+                                                std::vector<uint64_t> ends);
+
 // ---------------------------------------------------------------------------
 // Algorithm 1 — distributed form, matching the paper's pseudo-code: rank r
 // adjusts its own starting point, then sends it to rank r-1, which uses it

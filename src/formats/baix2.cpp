@@ -40,7 +40,7 @@ bool Filter::matches(const Entry& e) const {
   return true;
 }
 
-Baix2Index Baix2Index::build(const bamx::BamxReader& bamx) {
+Baix2Index Baix2Index::build(const bamx::RecordSource& bamx) {
   std::vector<Entry> entries;
   entries.reserve(bamx.num_records());
   std::vector<AlignmentRecord> batch;

@@ -64,8 +64,9 @@ class Baix2Index {
  public:
   Baix2Index() = default;
 
-  /// Builds by scanning a BAMX file (bulk decode in batches).
-  static Baix2Index build(const bamx::BamxReader& bamx);
+  /// Builds by scanning a record source (bulk decode in batches); works
+  /// over a monolithic BAMX or a BAMXM shard manifest alike.
+  static Baix2Index build(const bamx::RecordSource& bamx);
 
   /// Builds from pre-collected entries (e.g. during preprocessing).
   static Baix2Index from_entries(std::vector<Entry> entries);

@@ -33,6 +33,7 @@ namespace {
 
 constexpr std::string_view kBamxMagic{"BAMX\1", 5};
 constexpr std::string_view kBaixMagic{"BAIX\1", 5};
+constexpr std::string_view kManifestMagic{"BAMXM\1", 6};
 constexpr uint16_t kVersion = 1;
 
 // Encodes just the aux section of a record in BAM aux encoding by reusing
@@ -191,6 +192,32 @@ void encode_record(const AlignmentRecord& rec, const BamxLayout& layout,
   std::memcpy(p + layout.aux_offset(), aux.data(), aux.size());
 }
 
+void restride_record(std::string_view src, const BamxLayout& from,
+                     const BamxLayout& to, std::string& out) {
+  NGSX_CHECK_MSG(src.size() == from.stride(),
+                 "restride source is not one source-layout record");
+  NGSX_CHECK_MSG(to.max_qname >= from.max_qname &&
+                     to.max_cigar >= from.max_cigar &&
+                     to.max_seq >= from.max_seq && to.max_aux >= from.max_aux,
+                 "restride target layout does not cover source layout");
+  size_t base = out.size();
+  out.resize(base + to.stride(), '\0');
+  char* p = out.data() + base;
+  const char* s = src.data();
+  // Each padded section of `src` is its field bytes followed by zeros (or
+  // the qual section's 0xFF absent-quality fill, confined to seq_len <=
+  // max_seq bytes), so copying whole source sections into the zeroed
+  // destination reproduces encode_record's bytes under `to` exactly.
+  std::memcpy(p, s, 36);
+  std::memcpy(p + to.qname_offset(), s + from.qname_offset(), from.max_qname);
+  std::memcpy(p + to.cigar_offset(), s + from.cigar_offset(),
+              4ull * from.max_cigar);
+  std::memcpy(p + to.seq_offset(), s + from.seq_offset(),
+              (from.max_seq + 1) / 2);
+  std::memcpy(p + to.qual_offset(), s + from.qual_offset(), from.max_seq);
+  std::memcpy(p + to.aux_offset(), s + from.aux_offset(), from.max_aux);
+}
+
 // -------------------------------------------------------------------- decode
 
 void decode_record(std::string_view body, const BamxLayout& layout,
@@ -342,6 +369,14 @@ void BamxWriter::write(const AlignmentRecord& rec) {
   ++n_records_;
 }
 
+void BamxWriter::write_raw(std::string_view encoded) {
+  NGSX_CHECK_MSG(!closed_, "write on closed BAMX writer");
+  NGSX_CHECK_MSG(encoded.size() == layout_.stride(),
+                 "raw BAMX record does not match the writer's stride");
+  out_->write(encoded);
+  ++n_records_;
+}
+
 void BamxWriter::close() {
   if (closed_) {
     return;
@@ -450,9 +485,168 @@ void BamxReader::read_range(uint64_t begin, uint64_t end,
   }
 }
 
+// -------------------------------------------------------------- BamxManifest
+
+void BamxManifest::save(const std::string& path) const {
+  std::string out;
+  out += kManifestMagic;
+  binio::put_le<uint16_t>(out, kVersion);
+  binio::put_le<uint32_t>(out, layout.max_qname);
+  binio::put_le<uint32_t>(out, layout.max_cigar);
+  binio::put_le<uint32_t>(out, layout.max_seq);
+  binio::put_le<uint32_t>(out, layout.max_aux);
+  binio::put_le<uint64_t>(out, layout.stride());
+  binio::put_le<uint64_t>(out, n_records);
+  binio::put_le<uint32_t>(out, static_cast<uint32_t>(shards.size()));
+  for (const ManifestShard& s : shards) {
+    binio::put_le<uint64_t>(out, s.n_records);
+    binio::put_le<uint64_t>(out, s.record_base);
+    NGSX_CHECK_MSG(s.path.size() <= UINT16_MAX, "manifest shard path too long");
+    binio::put_le<uint16_t>(out, static_cast<uint16_t>(s.path.size()));
+    out += s.path;
+  }
+  write_file(path, out);
+}
+
+BamxManifest BamxManifest::load(const std::string& path) {
+  std::string data = read_file(path);
+  ByteReader r(data);
+  if (r.read_bytes(6) != kManifestMagic) {
+    throw FormatError("bad BAMXM magic in '" + path + "'");
+  }
+  uint16_t version = r.read<uint16_t>();
+  if (version != kVersion) {
+    throw FormatError("unsupported BAMXM version " + std::to_string(version));
+  }
+  BamxManifest m;
+  m.layout.max_qname = r.read<uint32_t>();
+  m.layout.max_cigar = r.read<uint32_t>();
+  m.layout.max_seq = r.read<uint32_t>();
+  m.layout.max_aux = r.read<uint32_t>();
+  uint64_t stride = r.read<uint64_t>();
+  if (stride != m.layout.stride()) {
+    throw FormatError("BAMXM stride mismatch: header says " +
+                      std::to_string(stride) + ", layout derives " +
+                      std::to_string(m.layout.stride()));
+  }
+  m.n_records = r.read<uint64_t>();
+  uint32_t n_shards = r.read<uint32_t>();
+  uint64_t expect_base = 0;
+  for (uint32_t k = 0; k < n_shards; ++k) {
+    ManifestShard s;
+    s.n_records = r.read<uint64_t>();
+    s.record_base = r.read<uint64_t>();
+    if (s.record_base != expect_base) {
+      throw FormatError("BAMXM shard record bases are not contiguous in '" +
+                        path + "'");
+    }
+    expect_base += s.n_records;
+    uint16_t len = r.read<uint16_t>();
+    s.path = std::string(r.read_bytes(len));
+    m.shards.push_back(std::move(s));
+  }
+  if (expect_base != m.n_records) {
+    throw FormatError("BAMXM shard record counts do not sum to n_records in '" +
+                      path + "'");
+  }
+  if (m.shards.empty()) {
+    throw FormatError("BAMXM manifest lists no shards in '" + path + "'");
+  }
+  return m;
+}
+
+// --------------------------------------------------------- ShardedBamxReader
+
+namespace {
+
+std::string parent_dir(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+}  // namespace
+
+ShardedBamxReader::ShardedBamxReader(const std::string& manifest_path)
+    : manifest_(BamxManifest::load(manifest_path)) {
+  const std::string dir = parent_dir(manifest_path);
+  shards_.reserve(manifest_.shards.size());
+  bases_.reserve(manifest_.shards.size() + 1);
+  for (const ManifestShard& s : manifest_.shards) {
+    shards_.emplace_back(dir + "/" + s.path);
+    const BamxReader& shard = shards_.back();
+    if (shard.layout() != manifest_.layout) {
+      throw FormatError("shard '" + s.path +
+                        "' layout disagrees with its manifest");
+    }
+    if (shard.num_records() != s.n_records) {
+      throw FormatError("shard '" + s.path + "' holds " +
+                        std::to_string(shard.num_records()) +
+                        " records, manifest says " +
+                        std::to_string(s.n_records));
+    }
+    bases_.push_back(s.record_base);
+  }
+  bases_.push_back(manifest_.n_records);
+}
+
+const SamHeader& ShardedBamxReader::header() const {
+  return shards_.front().header();
+}
+
+size_t ShardedBamxReader::shard_of(uint64_t i) const {
+  NGSX_CHECK_MSG(i < manifest_.n_records, "BAMX record index out of range");
+  // bases_ is ascending with a sentinel; find the last base <= i. Empty
+  // shards (possible when records < shards) contribute repeated bases, so
+  // step past them to a shard that actually holds record i.
+  size_t k = static_cast<size_t>(
+      std::upper_bound(bases_.begin(), bases_.end() - 1, i) - bases_.begin());
+  return k - 1;
+}
+
+void ShardedBamxReader::read(uint64_t i, AlignmentRecord& rec) const {
+  size_t k = shard_of(i);
+  shards_[k].read(i - bases_[k], rec);
+}
+
+std::pair<int32_t, int32_t> ShardedBamxReader::read_ref_pos(uint64_t i) const {
+  size_t k = shard_of(i);
+  return shards_[k].read_ref_pos(i - bases_[k]);
+}
+
+void ShardedBamxReader::read_range(uint64_t begin, uint64_t end,
+                                   std::vector<AlignmentRecord>& out) const {
+  NGSX_CHECK_MSG(begin <= end && end <= manifest_.n_records,
+                 "BAMX record range out of bounds");
+  // One bulk read per shard the range crosses.
+  for (uint64_t at = begin; at < end;) {
+    size_t k = shard_of(at);
+    uint64_t take = std::min<uint64_t>(end, bases_[k + 1]) - at;
+    shards_[k].read_range(at - bases_[k], at - bases_[k] + take, out);
+    at += take;
+  }
+}
+
+std::unique_ptr<RecordSource> open_record_source(const std::string& path) {
+  std::string magic;
+  {
+    InputFile probe(path);
+    magic = probe.read_at(0, 6);
+  }
+  if (std::string_view(magic) == kManifestMagic) {
+    return std::make_unique<ShardedBamxReader>(path);
+  }
+  if (magic.size() >= 5 &&
+      std::string_view(magic).substr(0, 5) == kBamxMagic) {
+    return std::make_unique<BamxReader>(path);
+  }
+  throw FormatError("'" + path + "' is neither a BAMX file nor a BAMXM "
+                    "shard manifest");
+}
+
 // ----------------------------------------------------------------- BaixIndex
 
-BaixIndex BaixIndex::build(const BamxReader& bamx) {
+BaixIndex BaixIndex::build(const RecordSource& bamx) {
   std::vector<BaixEntry> entries;
   entries.reserve(bamx.num_records());
   for (uint64_t i = 0; i < bamx.num_records(); ++i) {
@@ -462,19 +656,29 @@ BaixIndex BaixIndex::build(const BamxReader& bamx) {
   return from_entries(std::move(entries));
 }
 
+bool baix_entry_less(const BaixEntry& a, const BaixEntry& b) {
+  if (a.ref_id != b.ref_id) {
+    uint32_t ua = static_cast<uint32_t>(a.ref_id);
+    uint32_t ub = static_cast<uint32_t>(b.ref_id);
+    return ua < ub;
+  }
+  return a.pos < b.pos;
+}
+
 BaixIndex BaixIndex::from_entries(std::vector<BaixEntry> entries) {
   BaixIndex index;
   index.entries_ = std::move(entries);
   std::stable_sort(index.entries_.begin(), index.entries_.end(),
-                   [](const BaixEntry& a, const BaixEntry& b) {
-                     if (a.ref_id != b.ref_id) {
-                       // Unplaced (-1) sorts last, matching samtools.
-                       uint32_t ua = static_cast<uint32_t>(a.ref_id);
-                       uint32_t ub = static_cast<uint32_t>(b.ref_id);
-                       return ua < ub;
-                     }
-                     return a.pos < b.pos;
-                   });
+                   baix_entry_less);
+  return index;
+}
+
+BaixIndex BaixIndex::from_sorted_entries(std::vector<BaixEntry> entries) {
+  if (!std::is_sorted(entries.begin(), entries.end(), baix_entry_less)) {
+    throw UsageError("from_sorted_entries given unsorted BAIX entries");
+  }
+  BaixIndex index;
+  index.entries_ = std::move(entries);
   return index;
 }
 

@@ -63,6 +63,18 @@ struct BamxLayout {
 void encode_record(const sam::AlignmentRecord& rec, const BamxLayout& layout,
                    std::string& out);
 
+/// Re-encodes the record bytes `src` (exactly `from.stride()` bytes, encoded
+/// under layout `from`) as the byte sequence encode_record would have
+/// produced under layout `to`, appending exactly `to.stride()` bytes to
+/// `out`. Requires every capacity of `to` to be >= the corresponding
+/// capacity of `from` (e.g. `to` obtained by merging `from` into it). This
+/// is what lets a parallel preprocessor encode with chunk-local layouts and
+/// cheaply re-stride to the global layout afterwards, without re-parsing:
+/// each padded section is field bytes followed by zeros, so a section copy
+/// into a zeroed destination reproduces the direct encoding bit-for-bit.
+void restride_record(std::string_view src, const BamxLayout& from,
+                     const BamxLayout& to, std::string& out);
+
 /// Decodes the fixed-stride record at `body` (exactly stride bytes).
 void decode_record(std::string_view body, const BamxLayout& layout,
                    sam::AlignmentRecord& rec);
@@ -79,6 +91,12 @@ class BamxWriter {
              const BamxLayout& layout);
 
   void write(const sam::AlignmentRecord& rec);
+
+  /// Appends one already-encoded record (exactly `layout.stride()` bytes,
+  /// encoded under this writer's layout). The re-stride path of the
+  /// parallel preprocessor uses this to avoid decode/encode round trips.
+  void write_raw(std::string_view encoded);
+
   uint64_t records_written() const { return n_records_; }
 
   /// Finalizes the record count in the file header and closes.
@@ -94,24 +112,46 @@ class BamxWriter {
   bool closed_ = false;
 };
 
+/// Random-access view over preprocessed records: what the conversion phase
+/// actually requires of its input. Implemented by BamxReader (one
+/// monolithic BAMX file) and ShardedBamxReader (M shards behind a
+/// manifest), so every converter works unchanged over either. All methods
+/// are const and safe to call concurrently (positioned reads only).
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  virtual const sam::SamHeader& header() const = 0;
+  virtual const BamxLayout& layout() const = 0;
+  virtual uint64_t num_records() const = 0;
+
+  /// Reads record `i` (random access — the property BAMX exists for).
+  virtual void read(uint64_t i, sam::AlignmentRecord& rec) const = 0;
+
+  /// Reads only (ref_id, pos) of record `i`.
+  virtual std::pair<int32_t, int32_t> read_ref_pos(uint64_t i) const = 0;
+
+  /// Reads records [begin, end) appending to `out` (bulk I/O).
+  virtual void read_range(uint64_t begin, uint64_t end,
+                          std::vector<sam::AlignmentRecord>& out) const = 0;
+};
+
 /// Random-access BAMX reader.
-class BamxReader {
+class BamxReader : public RecordSource {
  public:
   explicit BamxReader(const std::string& path);
 
-  const sam::SamHeader& header() const { return header_; }
-  const BamxLayout& layout() const { return layout_; }
-  uint64_t num_records() const { return n_records_; }
+  const sam::SamHeader& header() const override { return header_; }
+  const BamxLayout& layout() const override { return layout_; }
+  uint64_t num_records() const override { return n_records_; }
 
-  /// Reads record `i` (random access — the property BAMX exists for).
-  void read(uint64_t i, sam::AlignmentRecord& rec) const;
+  void read(uint64_t i, sam::AlignmentRecord& rec) const override;
 
-  /// Reads only (ref_id, pos) of record `i`.
-  std::pair<int32_t, int32_t> read_ref_pos(uint64_t i) const;
+  std::pair<int32_t, int32_t> read_ref_pos(uint64_t i) const override;
 
   /// Reads records [begin, end) appending to `out` (bulk I/O: one pread).
   void read_range(uint64_t begin, uint64_t end,
-                  std::vector<sam::AlignmentRecord>& out) const;
+                  std::vector<sam::AlignmentRecord>& out) const override;
 
  private:
   InputFile file_;
@@ -120,6 +160,72 @@ class BamxReader {
   uint64_t n_records_ = 0;
   uint64_t data_offset_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Shard manifest (BAMXM)
+// ---------------------------------------------------------------------------
+
+/// One shard of a sharded BAMX dataset: a plain BAMX file holding the
+/// contiguous global records [record_base, record_base + n_records).
+struct ManifestShard {
+  std::string path;  // relative to the manifest's directory on disk
+  uint64_t n_records = 0;
+  uint64_t record_base = 0;
+
+  bool operator==(const ManifestShard&) const = default;
+};
+
+/// A BAMX shard manifest ("BAMXM\x01", docs/FILEFORMATS.md): the global
+/// layout every shard was (re-)strided to, the total record count, and the
+/// ordered shard list. Produced by the parallel single-pass preprocessor;
+/// consumed by ShardedBamxReader.
+struct BamxManifest {
+  BamxLayout layout;
+  uint64_t n_records = 0;
+  std::vector<ManifestShard> shards;
+
+  /// Atomic write. Shard paths are stored as given (they should be
+  /// relative names of files living next to the manifest).
+  void save(const std::string& path) const;
+
+  /// Loads and validates: magic/version/stride, contiguous record bases
+  /// summing to n_records. Shard paths stay relative; resolve against the
+  /// manifest's directory (ShardedBamxReader does).
+  static BamxManifest load(const std::string& path);
+
+  bool operator==(const BamxManifest&) const = default;
+};
+
+/// RecordSource over a BAMXM manifest: M shard readers presented as one
+/// contiguous record space. Every shard must carry the manifest's layout,
+/// so global record i lives at a computable offset inside its shard.
+class ShardedBamxReader : public RecordSource {
+ public:
+  explicit ShardedBamxReader(const std::string& manifest_path);
+
+  const sam::SamHeader& header() const override;
+  const BamxLayout& layout() const override { return manifest_.layout; }
+  uint64_t num_records() const override { return manifest_.n_records; }
+  size_t num_shards() const { return shards_.size(); }
+
+  void read(uint64_t i, sam::AlignmentRecord& rec) const override;
+  std::pair<int32_t, int32_t> read_ref_pos(uint64_t i) const override;
+  void read_range(uint64_t begin, uint64_t end,
+                  std::vector<sam::AlignmentRecord>& out) const override;
+
+ private:
+  /// Index of the shard holding global record `i`.
+  size_t shard_of(uint64_t i) const;
+
+  BamxManifest manifest_;
+  std::vector<BamxReader> shards_;
+  std::vector<uint64_t> bases_;  // shards_[k] starts at bases_[k]; +1 sentinel
+};
+
+/// Opens `path` as a RecordSource, sniffing the magic: a BAMXM manifest
+/// yields a ShardedBamxReader, a BAMX file a BamxReader. Anything else
+/// throws FormatError.
+std::unique_ptr<RecordSource> open_record_source(const std::string& path);
 
 // ---------------------------------------------------------------------------
 // BAIX
@@ -134,6 +240,11 @@ struct BaixEntry {
   bool operator==(const BaixEntry&) const = default;
 };
 
+/// The BAIX index order: (ref_id compared as unsigned, pos), so unplaced
+/// (-1) entries sort last, matching samtools. Exposed so parallel index
+/// builders can merge pre-sorted runs under exactly this order.
+bool baix_entry_less(const BaixEntry& a, const BaixEntry& b);
+
 /// The BAIX index: entries sorted by (ref_id, pos). Region queries return
 /// the range of entries whose alignment *starts* inside the region, which
 /// is the paper's partial-conversion semantics.
@@ -141,12 +252,20 @@ class BaixIndex {
  public:
   BaixIndex() = default;
 
-  /// Scans a BAMX file (ref/pos peeks only) and builds the sorted index.
-  static BaixIndex build(const BamxReader& bamx);
+  /// Scans a record source (ref/pos peeks only) and builds the sorted
+  /// index; works over a monolithic BAMX or a shard manifest alike.
+  static BaixIndex build(const RecordSource& bamx);
 
   /// Builds the index from entries collected elsewhere (e.g. during a BAMX
   /// encode pass); sorts them by (ref_id, pos).
   static BaixIndex from_entries(std::vector<BaixEntry> entries);
+
+  /// Adopts `entries` that are already in the index order from_entries
+  /// would produce: (ref_id as unsigned, pos), ties in insertion order.
+  /// Used by the parallel preprocessor, whose per-chunk sorted runs are
+  /// merged on the execution pool instead of re-sorted here. Checks the
+  /// ordering (O(n)) and throws UsageError if violated.
+  static BaixIndex from_sorted_entries(std::vector<BaixEntry> entries);
 
   void save(const std::string& path) const;
   static BaixIndex load(const std::string& path);

@@ -238,7 +238,36 @@ int select_threshold(std::span<const double> histogram,
                      const SimulationSet& sims, double target_fdr) {
   validate(histogram, sims);
   const int b_count = static_cast<int>(sims.size());
-  for (int p_t = 0; p_t <= b_count; ++p_t) {
+
+  // M == 0: every denominator is zero at every threshold (the denominator
+  // at p_t = B counts all M bins, so it is the largest), and an FDR with
+  // no candidate bins is vacuously within any non-negative target. Report
+  // the smallest threshold instead of the old "nothing qualifies" -1.
+  if (histogram.empty()) {
+    return target_fdr >= 0.0 ? 0 : -1;
+  }
+
+  // p_t = 0: the numerator is structurally zero — every simulated value is
+  // <= itself, so rank_of_b >= 1 > p_t for all b — which makes the full
+  // Theta(M B^2) fused sweep a waste; only the Theta(M B) denominator can
+  // decide. FDR is exactly 0 whenever any bin qualifies.
+  {
+    int64_t denom = 0;
+    for (size_t i = 0; i < histogram.size(); ++i) {
+      int64_t p_i = 0;
+      for (size_t b = 0; b < sims.size(); ++b) {
+        p_i += histogram[i] <= sims[b][i] ? 1 : 0;
+      }
+      if (p_i == 0) {
+        ++denom;
+      }
+    }
+    if (denom > 0 && 0.0 <= target_fdr) {
+      return 0;
+    }
+  }
+
+  for (int p_t = 1; p_t <= b_count; ++p_t) {
     FdrResult res = fdr_fused(histogram, sims, p_t);
     if (res.denominator > 0 && res.fdr <= target_fdr) {
       return p_t;

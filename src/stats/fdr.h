@@ -61,8 +61,18 @@ FdrResult fdr_parallel_omp(std::span<const double> histogram,
                            const SimulationSet& sims, int p_t, int threads);
 
 /// Sweeps FDR over thresholds 0..B and returns the smallest p_t whose FDR
-/// is <= `target_fdr` (the procedure's end use: threshold selection).
-/// Returns -1 when no threshold qualifies.
+/// is <= `target_fdr` with a non-zero denominator (the procedure's end
+/// use: threshold selection). Returns -1 when no threshold qualifies.
+///
+/// Edge contracts:
+///  * p_t = 0 is decided by a denominator-only Theta(M B) scan — the
+///    numerator is structurally zero there (each simulated value ranks at
+///    least itself, so rank_of_b >= 1), making the full fused sweep
+///    unnecessary; FDR at p_t = 0 is exactly 0 whenever any bin qualifies.
+///  * An empty histogram (M = 0) is the one input whose denominator is
+///    zero at *every* threshold (the p_t = B denominator counts all M
+///    bins). The target is then vacuously met: the sweep returns 0 for any
+///    target_fdr >= 0 rather than the old -1.
 int select_threshold(std::span<const double> histogram,
                      const SimulationSet& sims, double target_fdr);
 

@@ -169,6 +169,55 @@ TEST(Baix2, QueryAllWithUnmapped) {
   EXPECT_EQ(f.index.query_all(mapped_only).size(), mapped);
 }
 
+TEST(Baix2, StartWithinParityWithBaixV1) {
+  // The v1 BAIX contract is *start-keyed* (docs/FILEFORMATS.md): a region
+  // query selects exactly the alignments starting inside [beg, end). v2's
+  // kStartWithin must select the same record set, so the two indexes are
+  // interchangeable for the paper's partial-conversion semantics — and any
+  // extra records v2's kOverlap returns are precisely the straddlers v1
+  // cannot see.
+  Fixture f;
+  bamx::BaixIndex v1 = bamx::BaixIndex::build(bamx::BamxReader(f.bamx_path));
+  for (auto [beg, end] : std::vector<std::pair<int32_t, int32_t>>{
+           {0, 500000}, {10000, 60000}, {0, 1}, {250000, 250000}}) {
+    auto [first, last] = v1.query(0, beg, end);
+    std::vector<uint64_t> v1_records;
+    for (size_t i = first; i < last; ++i) {
+      v1_records.push_back(v1.entry(i).record_index);
+    }
+    std::sort(v1_records.begin(), v1_records.end());
+    EXPECT_EQ(v1_records, f.index.query(0, beg, end,
+                                        RegionMode::kStartWithin))
+        << "region [" << beg << ", " << end << ")";
+  }
+}
+
+TEST(Baix2, OverlapIsStrictSupersetOnStraddledWindow) {
+  // A window placed strictly inside some alignment's span: start-keyed
+  // selection (v1 and kStartWithin alike) misses the straddler, overlap
+  // mode finds it. This is the contract difference --region-mode toggles.
+  Fixture f;
+  const AlignmentRecord* straddler = nullptr;
+  for (const auto& rec : f.records) {
+    if (rec.ref_id == 0 && rec.pos >= 0 && rec.end_pos() - rec.pos >= 3) {
+      straddler = &rec;
+      break;
+    }
+  }
+  ASSERT_NE(straddler, nullptr);
+  const int32_t beg = straddler->pos + 1;
+  const int32_t end = straddler->pos + 2;
+  bamx::BaixIndex v1 = bamx::BaixIndex::build(bamx::BamxReader(f.bamx_path));
+  auto [first, last] = v1.query(0, beg, end);
+  auto start_within = f.index.query(0, beg, end, RegionMode::kStartWithin);
+  auto overlap = f.index.query(0, beg, end, RegionMode::kOverlap);
+  EXPECT_EQ(last - first, start_within.size());
+  EXPECT_GT(overlap.size(), start_within.size());
+  EXPECT_NE(std::find(overlap.begin(), overlap.end(),
+                      static_cast<uint64_t>(straddler - f.records.data())),
+            overlap.end());
+}
+
 TEST(Baix2, SaveLoadRoundTrip) {
   Fixture f;
   std::string copy = f.tmp.file("copy.baix2");

@@ -281,6 +281,60 @@ TEST(Partition, BodyOffsetRespected) {
   EXPECT_EQ(all, (std::vector<std::string>{"r1 aaaa", "r2 bb", "r3 cccccc"}));
 }
 
+// ------------------------------------------- backward range assembly
+
+TEST(AssembleBackwardRanges, NonMonotoneEndsCollapseToEmptyRanges) {
+  // When a later rank's backward scan crosses an earlier rank's boundary
+  // (few line breakers, many ranks), its tentative end is *smaller* than
+  // the preceding one. The fixed assembly collapses that rank to an empty
+  // range; the old per-rank clamp emitted overlapping ranges, duplicating
+  // every line in the overlap across two ranks.
+  auto ranges = assemble_backward_ranges({0, 200}, {100, 50});
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (ByteRange{0, 100}));
+  EXPECT_EQ(ranges[1], (ByteRange{100, 100}));  // collapsed, not [50, ...)
+  EXPECT_EQ(ranges[2], (ByteRange{100, 200}));
+}
+
+TEST(AssembleBackwardRanges, EndsOutsideBodyAreClamped) {
+  auto ranges = assemble_backward_ranges({20, 120}, {300, 10, 60});
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0], (ByteRange{20, 120}));
+  EXPECT_EQ(ranges[1], (ByteRange{120, 120}));
+  EXPECT_EQ(ranges[2], (ByteRange{120, 120}));
+  EXPECT_EQ(ranges[3], (ByteRange{120, 120}));
+  // Contiguity and coverage hold regardless of how adversarial the
+  // tentative ends are.
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+  }
+}
+
+TEST(Partition, BackwardNewlineFreeBody) {
+  // One long record and no newline at all: every backward scan bottoms out
+  // at the body start, so ranks 0..N-2 must come out empty and the last
+  // rank owns the whole body — exactly once.
+  SamLikeFile f(1, /*seed=*/5, /*trailing_newline=*/false);
+  InputFile file(f.path);
+  auto ranges = partition_sam_backward(file, {0, f.size}, 8);
+  expect_partition_valid(f, ranges);
+  for (size_t r = 0; r + 1 < ranges.size(); ++r) {
+    EXPECT_EQ(ranges[r].size(), 0u);
+  }
+  EXPECT_EQ(ranges.back().size(), f.size);
+}
+
+TEST(Partition, BackwardTinyBodyManyRanks) {
+  // More ranks than line breakers: several scans collapse onto the same
+  // boundary; the partition must stay disjoint (no duplicated records).
+  for (int n_lines : {2, 3}) {
+    SamLikeFile f(n_lines, /*seed=*/11);
+    InputFile file(f.path);
+    auto ranges = partition_sam_backward(file, {0, f.size}, 16);
+    expect_partition_valid(f, ranges);
+  }
+}
+
 TEST(Partition, DistributedManyRanksStress) {
   SamLikeFile f(500, /*seed=*/17);
   InputFile probe(f.path);

@@ -1,0 +1,344 @@
+// Tests for the single-pass parallel BAM preprocessor (BAMXM shard
+// manifests): byte-identity against the sequential two-pass preprocessor,
+// the ShardedBamxReader record-space view, manifest validation, and
+// crash-consistency when a shard committer dies mid-preprocess.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/convert.h"
+#include "formats/bam.h"
+#include "simdata/readsim.h"
+#include "util/iopolicy.h"
+#include "util/tempdir.h"
+
+namespace ngsx::core {
+namespace {
+
+namespace fs = std::filesystem;
+using sam::AlignmentRecord;
+
+struct Dataset {
+  TempDir tmp;
+  simdata::ReferenceGenome genome;
+  std::vector<AlignmentRecord> records;
+  std::string bam_path;
+
+  explicit Dataset(uint64_t pairs = 300, uint64_t seed = 41)
+      : genome(simdata::ReferenceGenome::simulate(
+            simdata::mouse_like_references(400000), seed)) {
+    simdata::ReadSimConfig cfg;
+    cfg.seed = seed;
+    records = simdata::simulate_alignments(genome, pairs, cfg);
+    bam_path = tmp.file("in.bam");
+    bam::BamFileWriter w(bam_path, genome.header());
+    for (const auto& r : records) {
+      w.write(r);
+    }
+    w.close();
+  }
+};
+
+/// The record data section of a BAMX file: the trailing n * stride bytes.
+std::string data_section(const std::string& path) {
+  bamx::BamxReader reader(path);
+  std::string all = read_file(path);
+  uint64_t data = reader.num_records() * reader.layout().stride();
+  return all.substr(all.size() - data);
+}
+
+std::string concat_outputs(const ConvertStats& stats) {
+  std::string all;
+  for (const auto& path : stats.outputs) {
+    all += read_file(path);
+  }
+  return all;
+}
+
+/// Runs both preprocessors over `d` and returns (seq bamx, seq baix,
+/// manifest, par baix) paths. `opt` controls the parallel run.
+struct PreprocPair {
+  std::string seq_bamx, seq_baix, manifest, par_baix;
+  PreprocessStats seq_stats, par_stats;
+};
+
+PreprocPair preprocess_both(const Dataset& d, PreprocessOptions opt) {
+  PreprocPair p;
+  p.seq_bamx = d.tmp.file("seq.bamx");
+  p.seq_baix = d.tmp.file("seq.baix");
+  p.manifest = d.tmp.file("par.bamxm");
+  p.par_baix = d.tmp.file("par.baix");
+  p.seq_stats = preprocess_bam(d.bam_path, p.seq_bamx, p.seq_baix);
+  p.par_stats = preprocess_bam_parallel(d.bam_path, p.manifest, p.par_baix,
+                                        opt);
+  return p;
+}
+
+// ----------------------------------------------------- byte identity
+
+TEST(PreprocessParallel, ShardsConcatenateToSequentialBytes) {
+  Dataset d(400);
+  PreprocessOptions opt;
+  opt.threads = 4;
+  opt.shards = 3;
+  opt.chunk_records = 37;  // many chunks -> layout merging is exercised
+  PreprocPair p = preprocess_both(d, opt);
+
+  EXPECT_EQ(p.par_stats.records, p.seq_stats.records);
+  EXPECT_EQ(p.par_stats.records, d.records.size());
+
+  // The BAIX must be bit-identical: the parallel merge of per-chunk sorted
+  // runs equals the sequential stable_sort.
+  EXPECT_EQ(read_file(p.par_baix), read_file(p.seq_baix));
+
+  // The shards, concatenated in manifest order, must reproduce the
+  // sequential BAMX data section byte for byte (same global layout, same
+  // record order, same encoding).
+  bamx::BamxManifest manifest = bamx::BamxManifest::load(p.manifest);
+  bamx::BamxReader seq(p.seq_bamx);
+  EXPECT_EQ(manifest.layout, seq.layout());
+  EXPECT_EQ(manifest.n_records, seq.num_records());
+  std::string concat;
+  for (const auto& shard : manifest.shards) {
+    concat += data_section(d.tmp.file(shard.path));
+  }
+  EXPECT_EQ(concat, data_section(p.seq_bamx));
+}
+
+TEST(PreprocessParallel, FullConversionMatchesSequentialPreprocess) {
+  Dataset d(350);
+  PreprocessOptions opt;
+  opt.threads = 3;
+  opt.shards = 4;
+  opt.chunk_records = 53;
+  PreprocPair p = preprocess_both(d, opt);
+
+  for (Schedule schedule : {Schedule::kStatic, Schedule::kDynamic}) {
+    ConvertOptions options;
+    options.format = TargetFormat::kBed;
+    options.ranks = 3;
+    options.schedule = schedule;
+    auto seq = convert_bamx(p.seq_bamx, p.seq_baix,
+                            d.tmp.subdir("out-seq"), options);
+    auto par = convert_bamx(p.manifest, p.par_baix,
+                            d.tmp.subdir("out-par"), options);
+    EXPECT_EQ(seq.records_in, d.records.size());
+    EXPECT_EQ(concat_outputs(par), concat_outputs(seq));
+  }
+}
+
+TEST(PreprocessParallel, PartialConversionMatchesSequentialPreprocess) {
+  Dataset d(350);
+  PreprocessOptions opt;
+  opt.threads = 4;
+  opt.chunk_records = 29;
+  PreprocPair p = preprocess_both(d, opt);
+
+  ConvertOptions options;
+  options.format = TargetFormat::kSam;
+  options.include_header = false;
+  options.ranks = 2;
+  Region region = parse_region("chr1:1-150000", d.genome.header());
+  auto seq = convert_bamx(p.seq_bamx, p.seq_baix, d.tmp.subdir("part-seq"),
+                          options, region);
+  auto par = convert_bamx(p.manifest, p.par_baix, d.tmp.subdir("part-par"),
+                          options, region);
+  EXPECT_GT(seq.records_in, 0u);
+  EXPECT_EQ(concat_outputs(par), concat_outputs(seq));
+}
+
+TEST(PreprocessParallel, Baix2BuildsOverManifest) {
+  Dataset d(200);
+  PreprocessOptions opt;
+  opt.threads = 2;
+  opt.shards = 3;
+  PreprocPair p = preprocess_both(d, opt);
+
+  const std::string seq2 = d.tmp.file("seq.baix2");
+  const std::string par2 = d.tmp.file("par.baix2");
+  build_baix2(p.seq_bamx, seq2);
+  build_baix2(p.manifest, par2);
+  EXPECT_EQ(read_file(par2), read_file(seq2));
+}
+
+// --------------------------------------------------- sharded record space
+
+TEST(ShardedBamxReader, ReadsAcrossShardBoundaries) {
+  Dataset d(150);
+  PreprocessOptions opt;
+  opt.threads = 2;
+  opt.shards = 4;
+  opt.chunk_records = 17;
+  PreprocPair p = preprocess_both(d, opt);
+
+  bamx::BamxReader seq(p.seq_bamx);
+  bamx::ShardedBamxReader sharded(p.manifest);
+  ASSERT_EQ(sharded.num_records(), seq.num_records());
+  EXPECT_EQ(sharded.num_shards(), 4u);
+  EXPECT_EQ(sharded.header(), seq.header());
+
+  // Every record individually (random access crossing all boundaries).
+  AlignmentRecord a, b;
+  for (uint64_t i = 0; i < seq.num_records(); ++i) {
+    seq.read(i, a);
+    sharded.read(i, b);
+    EXPECT_EQ(a, b) << "record " << i;
+    EXPECT_EQ(sharded.read_ref_pos(i), seq.read_ref_pos(i));
+  }
+
+  // Bulk ranges that straddle shard boundaries.
+  const uint64_t n = seq.num_records();
+  for (auto [lo, hi] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, n}, {1, n - 1}, {n / 4 - 1, 3 * n / 4 + 1}, {n / 2, n / 2}}) {
+    std::vector<AlignmentRecord> want, got;
+    seq.read_range(lo, hi, want);
+    sharded.read_range(lo, hi, got);
+    EXPECT_EQ(got, want) << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+TEST(OpenRecordSource, SniffsMagic) {
+  Dataset d(50);
+  PreprocessOptions opt;
+  opt.threads = 2;
+  opt.shards = 2;
+  PreprocPair p = preprocess_both(d, opt);
+
+  EXPECT_NE(dynamic_cast<bamx::BamxReader*>(
+                bamx::open_record_source(p.seq_bamx).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<bamx::ShardedBamxReader*>(
+                bamx::open_record_source(p.manifest).get()),
+            nullptr);
+
+  const std::string junk = d.tmp.file("junk.bamx");
+  write_file(junk, "not a bamx file");
+  EXPECT_THROW(bamx::open_record_source(junk), FormatError);
+}
+
+TEST(PreprocessParallel, EmptyBamYieldsEmptyManifest) {
+  TempDir tmp;
+  auto genome = simdata::ReferenceGenome::simulate(
+      simdata::mouse_like_references(100000), 7);
+  const std::string bam = tmp.file("empty.bam");
+  {
+    bam::BamFileWriter w(bam, genome.header());
+    w.close();
+  }
+  PreprocessOptions opt;
+  opt.threads = 3;
+  opt.shards = 3;
+  auto stats = preprocess_bam_parallel(bam, tmp.file("e.bamxm"),
+                                       tmp.file("e.baix"), opt);
+  EXPECT_EQ(stats.records, 0u);
+  bamx::ShardedBamxReader reader(tmp.file("e.bamxm"));
+  EXPECT_EQ(reader.num_records(), 0u);
+  bamx::BaixIndex baix = bamx::BaixIndex::load(tmp.file("e.baix"));
+  EXPECT_EQ(baix.size(), 0u);
+}
+
+// ------------------------------------------------------ manifest validation
+
+TEST(BamxManifest, RoundTripAndValidation) {
+  TempDir tmp;
+  bamx::BamxManifest m;
+  m.layout.max_qname = 10;
+  m.layout.max_seq = 50;
+  m.n_records = 30;
+  m.shards = {{"a.bamx", 10, 0}, {"b.bamx", 0, 10}, {"c.bamx", 20, 10}};
+  const std::string path = tmp.file("m.bamxm");
+  m.save(path);
+  EXPECT_EQ(bamx::BamxManifest::load(path), m);
+
+  // Truncation anywhere inside the payload must be detected.
+  std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 3));
+  EXPECT_THROW(bamx::BamxManifest::load(path), FormatError);
+
+  // Wrong magic.
+  std::string bad = bytes;
+  bad[0] = 'Z';
+  write_file(path, bad);
+  EXPECT_THROW(bamx::BamxManifest::load(path), FormatError);
+
+  // Non-contiguous record bases.
+  bamx::BamxManifest gap = m;
+  gap.shards[2].record_base = 11;
+  gap.save(path);
+  EXPECT_THROW(bamx::BamxManifest::load(path), FormatError);
+
+  // Shard counts not summing to the total.
+  bamx::BamxManifest sum = m;
+  sum.n_records = 31;
+  sum.save(path);
+  EXPECT_THROW(bamx::BamxManifest::load(path), FormatError);
+
+  // No shards at all.
+  bamx::BamxManifest none;
+  none.save(path);
+  EXPECT_THROW(bamx::BamxManifest::load(path), FormatError);
+}
+
+TEST(ShardedBamxReader, RejectsShardLayoutMismatch) {
+  Dataset d(80);
+  PreprocessOptions opt;
+  opt.threads = 2;
+  opt.shards = 2;
+  PreprocPair p = preprocess_both(d, opt);
+
+  // Point the manifest at a shard whose layout differs from the global
+  // one (the sequential monolith is a convenient wrong-stride stand-in
+  // only if its record count also matches, so fake a count mismatch too).
+  bamx::BamxManifest m = bamx::BamxManifest::load(p.manifest);
+  m.shards[0].path = "seq.bamx";
+  m.save(p.manifest);
+  EXPECT_THROW(bamx::ShardedBamxReader reader(p.manifest), FormatError);
+}
+
+// ------------------------------------------------------- crash consistency
+
+/// Clears injected rules on scope exit (mirrors fault_injection_test).
+struct FaultScope {
+  FaultScope(const std::string& substr, const io::Fault& fault) {
+    io::IoPolicy::instance().inject(substr, fault);
+  }
+  ~FaultScope() { io::IoPolicy::instance().clear(); }
+};
+
+TEST(PreprocessParallel, ShardCommitterDeathPublishesNothing) {
+  Dataset d(200);
+  io::Fault fault;
+  fault.op = io::Op::kWrite;
+  fault.kind = io::FaultKind::kEnospc;
+  fault.bytes = 256;  // the shard data blows past this immediately
+  fault.err = ENOSPC;
+  const std::string manifest = d.tmp.file("crash.bamxm");
+  {
+    FaultScope scope("-shard-", fault);
+    PreprocessOptions opt;
+    opt.threads = 4;
+    opt.shards = 4;
+    opt.chunk_records = 16;
+    EXPECT_THROW(
+        preprocess_bam_parallel(d.bam_path, manifest, d.tmp.file("crash.baix"),
+                                opt),
+        Error);
+  }
+  // A dead committer must leave no partial shard under a final name, no
+  // staging leftovers, and — critically — no manifest (it is written
+  // last, so a manifest always implies a complete shard set).
+  for (const auto& entry : fs::directory_iterator(d.tmp.path())) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find("-shard-"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".tmp."), std::string::npos) << name;
+    EXPECT_EQ(name.find(".bamxm"), std::string::npos) << name;
+  }
+  // The input survives untouched and a clean retry succeeds.
+  auto stats = preprocess_bam_parallel(d.bam_path, manifest,
+                                       d.tmp.file("crash.baix"));
+  EXPECT_EQ(stats.records, d.records.size());
+}
+
+}  // namespace
+}  // namespace ngsx::core

@@ -233,6 +233,29 @@ TEST(NlMeans, TinyPartitionsStillCorrect) {
   }
 }
 
+TEST(NlMeans, HaloFallbackPartitionsBitIdentical) {
+  // Partitions smaller than the halo (r + l): a single neighbour's halo
+  // message cannot cover the needed span and the global-read fallback in
+  // nlmeans_parallel kicks in. The kernel clamps windows at the *global*
+  // boundaries either way, so the result must stay bit-identical to the
+  // sequential pass for every rank count that forces the fallback —
+  // including ranks == n (one bin per rank) and empty partitions
+  // (ranks > n).
+  auto data = noisy_signal(24, 29);
+  NlMeansParams params;
+  params.r = 4;
+  params.l = 3;  // halo = 7, far above 24/8 = 3 bins per rank
+  params.sigma = 8.0;
+  auto seq = nlmeans(data, params);
+  for (int ranks : {3, 5, 8, 16, 24, 30}) {
+    auto par = nlmeans_parallel(data, params, ranks);
+    ASSERT_EQ(par.size(), seq.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(par[i], seq[i]) << "ranks=" << ranks << " bin=" << i;
+    }
+  }
+}
+
 TEST(NlMeans, VariousParameters) {
   auto data = noisy_signal(600, 41);
   for (int r : {1, 5, 40}) {
@@ -379,6 +402,50 @@ TEST(Fdr, SelectThresholdFindsQualifyingPt) {
   FdrResult at = fdr_fused(f.hist, f.sims, p_t);
   EXPECT_LE(at.fdr, 0.2);
   EXPECT_GT(at.denominator, 0.0);
+}
+
+TEST(Fdr, SelectThresholdPtZeroIsExactlyZeroFdr) {
+  // The p_t = 0 numerator is structurally zero (every simulated value
+  // ranks at least itself), so any bin with p_i = 0 makes FDR exactly 0 —
+  // the tightened denominator-only fast path must select p_t = 0 even for
+  // a target of 0.0.
+  std::vector<double> hist = {100, 100};
+  SimulationSet sims = {{1, 1}, {2, 2}};
+  EXPECT_EQ(select_threshold(hist, sims, 0.0), 0);
+  FdrResult at = fdr_reference(hist, sims, 0);
+  EXPECT_DOUBLE_EQ(at.numerator, 0.0);
+  EXPECT_DOUBLE_EQ(at.fdr, 0.0);
+  EXPECT_GT(at.denominator, 0.0);
+}
+
+TEST(Fdr, SelectThresholdMatchesReferenceSweep) {
+  // The fast path plus the fused p_t >= 1 sweep must pick exactly the
+  // threshold a naive reference sweep would.
+  FdrFixture f(/*m=*/300, /*b=*/8, /*seed=*/21);
+  for (double target : {0.0, 0.05, 0.2, 0.8}) {
+    int naive = -1;
+    for (int p_t = 0; p_t <= static_cast<int>(f.sims.size()); ++p_t) {
+      FdrResult res = fdr_reference(f.hist, f.sims, p_t);
+      if (res.denominator > 0 && res.fdr <= target) {
+        naive = p_t;
+        break;
+      }
+    }
+    EXPECT_EQ(select_threshold(f.hist, f.sims, target), naive)
+        << "target=" << target;
+  }
+}
+
+TEST(Fdr, SelectThresholdEmptyHistogram) {
+  // M = 0 is the only input whose denominator is zero at *every*
+  // threshold (even p_t = B, which counts all M bins). The target is then
+  // vacuously met: the old code fell through its sweep and reported -1
+  // ("nothing qualifies") even for a trivially satisfiable target.
+  std::vector<double> hist;
+  SimulationSet sims = {{}, {}};
+  EXPECT_EQ(select_threshold(hist, sims, 0.0), 0);
+  EXPECT_EQ(select_threshold(hist, sims, 0.5), 0);
+  EXPECT_EQ(select_threshold(hist, sims, -0.1), -1);
 }
 
 TEST(Fdr, SelectThresholdReturnsMinusOneWhenImpossible) {
