@@ -1,0 +1,183 @@
+// Resident serving benchmark: cold one-shot region conversion (open the
+// source + load the index per request, what each `ngsx_convert --region`
+// invocation pays) vs the warm resident path (one ConversionSession held
+// open by ngsx_serve, shared scheduler, hot blocks in the LRU cache).
+//
+// The paper removes sequential bottlenecks *within* one conversion; a
+// region-query workload (genome browser, pileup service) adds an
+// orthogonal one — per-request setup. For a small region the index load
+// dominates end-to-end latency, so the resident session should win by a
+// wide margin (the acceptance bar is >= 5x).
+//
+// Emits BENCH_serve.json (path configurable with --json):
+//
+//   "cold_us":  mean per-request microseconds, fresh session per request
+//   "warm_us":  mean per-request microseconds through Server::handle_line
+//               (protocol parse + scheduler + block cache included)
+//   "speedup":  cold_us / warm_us
+//
+// Usage: bench_serve [--pairs N] [--cold-requests N] [--warm-requests N]
+//                    [--window BP] [--json PATH]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/convert.h"
+#include "core/session.h"
+#include "exec/pool.h"
+#include "formats/bam.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "simdata/readsim.h"
+#include "util/cli.h"
+#include "util/tempdir.h"
+#include "util/timer.h"
+
+using namespace ngsx;
+
+namespace {
+
+/// Deterministic region sequence over the first reference (no
+/// std::mt19937 so the request stream is identical across runs).
+std::string region_text(const sam::SamHeader& header, uint64_t i,
+                        int64_t window) {
+  const sam::Reference& ref = header.references()[0];
+  const int64_t span = std::max<int64_t>(1, ref.length - window);
+  const int64_t begin = 1 + static_cast<int64_t>((i * 2654435761u) % span);
+  return ref.name + ":" + std::to_string(begin) + "-" +
+         std::to_string(begin + window);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const uint64_t pairs = static_cast<uint64_t>(args.get_int("pairs", 20000));
+  const int cold_requests = static_cast<int>(args.get_int("cold-requests", 40));
+  const int warm_requests =
+      static_cast<int>(args.get_int("warm-requests", 400));
+  // Browser-viewport-sized regions: the regime where per-request setup
+  // (not record formatting) dominates cold latency.
+  const int64_t window = args.get_int("window", 3000);
+  const std::string json_path = args.get("json", "BENCH_serve.json");
+
+  obs::enable_metrics();
+
+  std::printf("=== region serving: cold one-shot vs warm resident ===\n");
+  TempDir tmp("bench_serve");
+  const std::string bam_path = tmp.file("input.bam");
+  auto genome = simdata::ReferenceGenome::simulate(
+      simdata::mouse_like_references(2'000'000), 7);
+  std::vector<sam::AlignmentRecord> records;
+  {
+    simdata::ReadSimConfig cfg;
+    cfg.seed = 7;
+    records = simdata::simulate_alignments(genome, pairs, cfg);
+    bam::BamFileWriter w(bam_path, genome.header());
+    for (const auto& r : records) {
+      w.write(r);
+    }
+    w.close();
+  }
+  const std::string bamx_path = tmp.file("input.bamx");
+  const std::string baix_path = tmp.file("input.baix");
+  core::preprocess_bam(bam_path, bamx_path, baix_path);
+  std::printf("dataset: %llu records, %.1f MB BAMX\n",
+              static_cast<unsigned long long>(records.size()),
+              file_size(bamx_path) / 1e6);
+
+  core::SessionOptions sopt;
+  sopt.bamx_path = bamx_path;
+  sopt.baix_path = baix_path;
+
+  // ------------------------------------------------------------------ cold
+  // What every one-shot invocation pays: open the BAMX, load the BAIX,
+  // plan, fetch, format — then throw it all away. (A real ngsx_convert
+  // additionally pays process spawn, so this is a conservative floor.)
+  uint64_t planned_records = 0;
+  double cold_total_s = 0.0;
+  for (int i = 0; i < cold_requests; ++i) {
+    WallTimer timer;
+    core::ConversionSession session(sopt);
+    const core::Region region = session.parse(
+        region_text(session.header(), static_cast<uint64_t>(i), window));
+    const std::vector<uint64_t> plan =
+        session.plan(region, baix2::RegionMode::kStartWithin);
+    std::string payload;
+    session.format_records(plan, core::TargetFormat::kSam,
+                           /*include_header=*/true, payload);
+    cold_total_s += timer.seconds();
+    planned_records += plan.size();
+  }
+  const double cold_us = cold_total_s / cold_requests * 1e6;
+  std::printf("cold one-shot: %d requests, %.0f us/request "
+              "(%.1f records/request)\n",
+              cold_requests, cold_us,
+              static_cast<double>(planned_records) / cold_requests);
+
+  // ------------------------------------------------------------------ warm
+  // The resident path, end to end: protocol parse, scheduler admission,
+  // consumer execution on the shared pool, block cache. One untimed
+  // request warms the index and the cache the way a long-lived daemon is
+  // warm in steady state.
+  core::ConversionSession session(sopt);
+  exec::Pool pool(2);
+  serve::ServerOptions options;
+  options.cache_bytes = 64ull << 20;
+  serve::Server server(session, pool, options);
+  {
+    const std::string response = server.handle_line(
+        "CONVERT " + region_text(session.header(), 0, window) + " sam");
+    if (response.rfind("OK ", 0) != 0) {
+      std::fprintf(stderr, "FATAL: warmup failed: %s", response.c_str());
+      return 1;
+    }
+  }
+  double warm_total_s = 0.0;
+  {
+    WallTimer timer;
+    for (int i = 0; i < warm_requests; ++i) {
+      const std::string response = server.handle_line(
+          "CONVERT " +
+          region_text(session.header(), static_cast<uint64_t>(i), window) +
+          " sam");
+      if (response.rfind("OK ", 0) != 0) {
+        std::fprintf(stderr, "FATAL: request %d failed: %s", i,
+                     response.c_str());
+        return 1;
+      }
+    }
+    warm_total_s = timer.seconds();
+  }
+  const double warm_us = warm_total_s / warm_requests * 1e6;
+  const double speedup = cold_us / warm_us;
+  std::printf("warm resident: %d requests, %.0f us/request\n", warm_requests,
+              warm_us);
+  std::printf("resident speedup: %.1fx (acceptance bar: >= 5x)\n", speedup);
+
+  // ----------------------------------------------------------------- JSON
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"records\": %llu,\n",
+               static_cast<unsigned long long>(records.size()));
+  std::fprintf(f, "  \"window_bp\": %lld,\n",
+               static_cast<long long>(window));
+  std::fprintf(f, "  \"cold_requests\": %d,\n", cold_requests);
+  std::fprintf(f, "  \"warm_requests\": %d,\n", warm_requests);
+  std::fprintf(f, "  \"cold_us\": %.1f,\n", cold_us);
+  std::fprintf(f, "  \"warm_us\": %.1f,\n", warm_us);
+  std::fprintf(f, "  \"speedup\": %.2f,\n", speedup);
+  // serve.requests / serve.cache.{hits,misses} / serve.request_us for the
+  // warm run live in the embedded snapshot (docs/OBSERVABILITY.md).
+  std::fprintf(f, "  \"obs\": %s\n}\n", obs::metrics_json().c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

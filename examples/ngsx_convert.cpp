@@ -26,10 +26,13 @@
 
 #include <filesystem>
 
+#include <memory>
+
 #include "core/convert.h"
 #include "exec/pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/metrics_flush.h"
 #include "util/binio.h"
 #include "util/cli.h"
 #include "util/strutil.h"
@@ -47,7 +50,7 @@ int usage(const char* prog) {
                "          [--decode-threads D] [--preprocess-threads P]\n"
                "          [--preprocess [--m M]]\n"
                "          [--no-header] [--metrics FILE.json]\n"
-               "          [--trace FILE.json]\n"
+               "          [--metrics-interval SEC] [--trace FILE.json]\n"
                "FORMAT: sam bam bed bedgraph fasta fastq json yaml\n"
                "--ranks 0 / --threads 0 / --decode-threads 0 auto-detect\n"
                "the hardware width; --decode-threads sets the BGZF inflate\n"
@@ -60,7 +63,9 @@ int usage(const char* prog) {
                "query; overlap builds a BAIX v2 and selects every alignment\n"
                "overlapping the region (see docs/FILEFORMATS.md)\n"
                "--metrics writes a ngsx.metrics.v1 snapshot, --trace a\n"
-               "Chrome-trace JSON (see docs/OBSERVABILITY.md)\n",
+               "Chrome-trace JSON (see docs/OBSERVABILITY.md)\n"
+               "--metrics-interval additionally rewrites the --metrics file\n"
+               "atomically every SEC seconds while the conversion runs\n",
                prog);
   return 2;
 }
@@ -121,6 +126,24 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) {
       obs::enable_tracing();
       obs::set_thread_name("main");
+    }
+
+    // Periodic flush: a long conversion becomes observable while it runs.
+    // The flusher rewrites the snapshot atomically (stage + fsync +
+    // rename), so a scraper never reads a torn file; its destructor stops
+    // the thread and leaves the final state, which the unconditional
+    // write below then overwrites with the same content.
+    std::unique_ptr<serve::MetricsFlusher> flusher;
+    const int64_t metrics_interval = args.get_int("metrics-interval", 0);
+    if (metrics_interval < 0) {
+      throw UsageError("--metrics-interval must be >= 0 (0 = off)");
+    }
+    if (metrics_interval > 0) {
+      if (metrics_path.empty()) {
+        throw UsageError("--metrics-interval requires --metrics FILE");
+      }
+      flusher = std::make_unique<serve::MetricsFlusher>(
+          metrics_path, std::chrono::milliseconds(metrics_interval * 1000));
     }
 
     core::ConvertOptions options;
@@ -225,6 +248,9 @@ int main(int argc, char** argv) {
     std::printf("%.1f MB in, %.1f MB out, %zu part files under %s\n",
                 stats.bytes_in / 1e6, stats.bytes_out / 1e6,
                 stats.outputs.size(), out.c_str());
+    if (flusher != nullptr) {
+      flusher->stop();  // final periodic flush; stop racing the write below
+    }
     if (!metrics_path.empty()) {
       write_file(metrics_path, obs::metrics_json(snap) + "\n");
     }

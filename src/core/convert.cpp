@@ -6,6 +6,7 @@
 #include <iterator>
 
 #include "core/partition.h"
+#include "core/session.h"
 #include "exec/pipeline.h"
 #include "exec/pool.h"
 #include "formats/bam.h"
@@ -698,27 +699,25 @@ ConvertStats convert_bamx(const std::string& bamx_path,
   obs::StageScope stage("convert.stage.convert", "convert", "convert");
   fs::create_directories(out_dir);
 
-  // Open once to learn the header/geometry; ranks reopen independently.
-  // The path is sniffed by magic: a monolithic .bamx or a .bamxm shard
-  // manifest both satisfy the RecordSource contract.
-  auto probe_ptr = bamx::open_record_source(bamx_path);
-  const bamx::RecordSource& probe = *probe_ptr;
-  const SamHeader header = probe.header();
-  const uint64_t n_records = probe.num_records();
-  const uint64_t stride = probe.layout().stride();
+  // Session setup: sniff and open the source (monolithic .bamx or .bamxm
+  // shard manifest), lazily load the BAIX. One-shot here; ngsx_serve keeps
+  // a session resident across requests.
+  ConversionSession session(SessionOptions{bamx_path, baix_path, {}});
+  const bamx::RecordSource& probe = session.source();
+  const SamHeader header = session.header();
+  const uint64_t n_records = session.num_records();
+  const uint64_t stride = session.stride();
 
   // Partial conversion: locate the region in the BAIX by binary search
   // (paper §III-B); each rank then converts an equal share of the matching
   // index entries.
-  bamx::BaixIndex baix;
   size_t region_first = 0;
   size_t region_last = 0;
   if (region.has_value()) {
     NGSX_CHECK_MSG(!baix_path.empty(),
                    "partial conversion requires a BAIX index");
-    baix = bamx::BaixIndex::load(baix_path);
     std::tie(region_first, region_last) =
-        baix.query(region->ref_id, region->begin, region->end);
+        session.baix().query(region->ref_id, region->begin, region->end);
   }
 
   if (options.schedule == Schedule::kDynamic) {
@@ -746,7 +745,7 @@ ConvertStats convert_bamx(const std::string& bamx_path,
         out.bytes_in = (chunk.end - chunk.begin) * stride;
         for (uint64_t e = chunk.begin; e < chunk.end; ++e) {
           const bamx::BaixEntry& entry =
-              baix.entry(region_first + static_cast<size_t>(e));
+              session.baix().entry(region_first + static_cast<size_t>(e));
           out.records.emplace_back();
           probe.read(entry.record_index, out.records.back());
         }
@@ -802,7 +801,7 @@ ConvertStats convert_bamx(const std::string& bamx_path,
       AlignmentRecord rec;
       for (uint64_t e = begin; e < end; ++e) {
         const bamx::BaixEntry& entry =
-            baix.entry(region_first + static_cast<size_t>(e));
+            session.baix().entry(region_first + static_cast<size_t>(e));
         reader.read(entry.record_index, rec);
         ++local.records_in;
         local.bytes_in += stride;
@@ -840,16 +839,14 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
   obs::StageScope stage("convert.stage.convert", "convert", "convert");
   fs::create_directories(out_dir);
 
-  auto probe_ptr = bamx::open_record_source(bamx_path);
-  const bamx::RecordSource& probe = *probe_ptr;
-  const SamHeader header = probe.header();
-  const uint64_t stride = probe.layout().stride();
+  ConversionSession session(SessionOptions{bamx_path, {}, baix2_path});
+  const bamx::RecordSource& probe = session.source();
+  const SamHeader header = session.header();
+  const uint64_t stride = session.stride();
 
   // Resolve the matching record set on the index alone, then hand each
   // rank an equal share (indices are ascending, so shares stay I/O-local).
-  baix2::Baix2Index index = baix2::Baix2Index::load(baix2_path);
-  std::vector<uint64_t> matches =
-      index.query(region.ref_id, region.begin, region.end, mode, filter);
+  std::vector<uint64_t> matches = session.plan(region, mode, filter);
 
   if (options.schedule == Schedule::kDynamic) {
     WallTimer timer;

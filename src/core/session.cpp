@@ -1,0 +1,83 @@
+#include "core/session.h"
+
+namespace ngsx::core {
+
+using sam::AlignmentRecord;
+
+ConversionSession::ConversionSession(SessionOptions options)
+    : options_(std::move(options)),
+      source_(bamx::open_record_source(options_.bamx_path)),
+      header_(source_->header()) {}
+
+const bamx::BaixIndex& ConversionSession::baix() const {
+  // call_once retries after an exception, so a failed load is reported to
+  // every caller rather than leaving later ones with an empty index.
+  std::call_once(baix_once_, [this] {
+    if (options_.baix_path.empty()) {
+      throw UsageError("session has no BAIX index (partial conversion "
+                       "requires one)");
+    }
+    baix_.emplace(bamx::BaixIndex::load(options_.baix_path));
+  });
+  return *baix_;
+}
+
+const baix2::Baix2Index& ConversionSession::baix2() const {
+  std::call_once(baix2_once_, [this] {
+    if (options_.baix2_path.empty()) {
+      throw UsageError("session has no BAIXv2 index (filtered conversion "
+                       "requires one)");
+    }
+    baix2_.emplace(baix2::Baix2Index::load(options_.baix2_path));
+  });
+  return *baix2_;
+}
+
+std::vector<uint64_t> ConversionSession::plan(const Region& region,
+                                              baix2::RegionMode mode,
+                                              const baix2::Filter& filter) const {
+  if (has_baix2()) {
+    return baix2().query(region.ref_id, region.begin, region.end, mode,
+                         filter);
+  }
+  const bool default_filter = filter.min_mapq == 0 &&
+                              !filter.reverse_strand.has_value() &&
+                              filter.include_duplicates;
+  if (mode != baix2::RegionMode::kStartWithin || !default_filter) {
+    throw UsageError(
+        "overlap regions and filters require a BAIXv2 index (session only "
+        "has a v1 BAIX)");
+  }
+  auto [first, last] = baix().query(region.ref_id, region.begin, region.end);
+  std::vector<uint64_t> indices;
+  indices.reserve(last - first);
+  for (size_t e = first; e < last; ++e) {
+    indices.push_back(baix().entry(e).record_index);
+  }
+  return indices;
+}
+
+ConversionSession::FormatResult ConversionSession::format_records(
+    const std::vector<uint64_t>& indices, TargetFormat format,
+    bool include_header, std::string& out,
+    const RecordFetcher* fetcher) const {
+  const size_t start = out.size();
+  FormatResult result;
+  out += target_prologue(format, header_, include_header);
+  AlignmentRecord rec;
+  for (uint64_t index : indices) {
+    if (fetcher != nullptr) {
+      fetcher->fetch(index, rec);
+    } else {
+      source_->read(index, rec);
+    }
+    ++result.records_in;
+    if (format_target_record(format, rec, header_, out)) {
+      ++result.records_out;
+    }
+  }
+  result.bytes = out.size() - start;
+  return result;
+}
+
+}  // namespace ngsx::core

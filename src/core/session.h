@@ -1,0 +1,120 @@
+// ngsx/core/session.h
+//
+// Resident conversion sessions: the *setup* half of the BAMX converters —
+// open the record source, load the indexes, plan a region — split from the
+// *per-request* half (fetch + format + emit).
+//
+// convert_bamx() and convert_bamx_filtered() perform the whole setup on
+// every call: sniff and open the BAMX/BAMXM, load the BAIX(v2), then
+// convert. That is the right shape for a one-shot CLI conversion and the
+// wrong one for a resident service answering many region queries over the
+// same shard set — the open/load cost (dominated by the index) would be
+// paid per request. A ConversionSession is constructed once, holds the
+// open source and lazily-loaded indexes, and serves any number of
+// plan/format calls; ngsx_serve shares one across all in-flight requests,
+// and the one-shot converters now build a throwaway session internally so
+// both paths run the same code.
+//
+// Thread-safety: after construction every method is const and safe to call
+// concurrently from any number of threads. RecordSource reads are
+// positioned (no shared cursor), and each index is loaded exactly once
+// under std::call_once and immutable afterwards.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/convert.h"
+#include "core/target.h"
+#include "formats/baix2.h"
+#include "formats/bamx.h"
+
+namespace ngsx::core {
+
+/// Fetch seam between planning and formatting: format_records() pulls
+/// records through this interface, so a caller can interpose a cache (the
+/// serving layer's block cache) without the session knowing. Implementations
+/// must be const-thread-safe like the RecordSource they wrap.
+class RecordFetcher {
+ public:
+  virtual ~RecordFetcher() = default;
+
+  /// Decodes global record `index` into `rec`.
+  virtual void fetch(uint64_t index, sam::AlignmentRecord& rec) const = 0;
+};
+
+/// What a session opens. Only `bamx_path` is required; each index path is
+/// optional and loaded on first use.
+struct SessionOptions {
+  std::string bamx_path;   // monolithic .bamx or .bamxm manifest (sniffed)
+  std::string baix_path;   // v1 index: start-within regions, no filters
+  std::string baix2_path;  // v2 index: overlap queries + filters
+};
+
+class ConversionSession {
+ public:
+  explicit ConversionSession(SessionOptions options);
+
+  const sam::SamHeader& header() const { return header_; }
+  const bamx::RecordSource& source() const { return *source_; }
+  uint64_t num_records() const { return source_->num_records(); }
+  uint64_t stride() const { return source_->layout().stride(); }
+
+  bool has_baix() const { return !options_.baix_path.empty(); }
+  bool has_baix2() const { return !options_.baix2_path.empty(); }
+
+  /// The v1 index, loaded on first call (throws UsageError when the
+  /// session was opened without a BAIX path).
+  const bamx::BaixIndex& baix() const;
+
+  /// The v2 index, loaded on first call (throws UsageError when the
+  /// session was opened without a BAIXv2 path).
+  const baix2::Baix2Index& baix2() const;
+
+  /// Parses "chr1:1000-2000" against the session's header.
+  Region parse(std::string_view region_text) const {
+    return parse_region(region_text, header_);
+  }
+
+  /// Record fetch list for a region query, in emission order: with a v2
+  /// index, exactly what convert_bamx_filtered would emit (ascending
+  /// record indices); with only a v1 index — which supports kStartWithin
+  /// and no filters, UsageError otherwise — exactly what convert_bamx
+  /// would emit (BAIX entry order). A sub-region's plan is always a
+  /// subsequence of an enclosing region's plan, which is what lets the
+  /// serving layer coalesce overlapping requests.
+  std::vector<uint64_t> plan(const Region& region, baix2::RegionMode mode,
+                             const baix2::Filter& filter = {}) const;
+
+  struct FormatResult {
+    uint64_t records_in = 0;   // records fetched
+    uint64_t records_out = 0;  // target objects emitted
+    uint64_t bytes = 0;        // bytes appended to out (incl. prologue)
+  };
+
+  /// Per-request execution: appends prologue + one formatted record per
+  /// planned index to `out`. Byte-identical to the part file a single
+  /// static rank would write for the same plan. `fetcher` defaults to
+  /// reading straight from the source. Text targets only (UsageError for
+  /// kBam, as for all record-level formatting).
+  FormatResult format_records(const std::vector<uint64_t>& indices,
+                              TargetFormat format, bool include_header,
+                              std::string& out,
+                              const RecordFetcher* fetcher = nullptr) const;
+
+ private:
+  SessionOptions options_;
+  std::unique_ptr<bamx::RecordSource> source_;
+  sam::SamHeader header_;
+  mutable std::once_flag baix_once_;
+  mutable std::once_flag baix2_once_;
+  mutable std::optional<bamx::BaixIndex> baix_;
+  mutable std::optional<baix2::Baix2Index> baix2_;
+};
+
+}  // namespace ngsx::core

@@ -119,40 +119,57 @@ class BamTargetWriter final : public TargetWriter {
   bam::BamFileWriter writer_;
 };
 
+/// The per-record serializer behind each text target; nullptr for kBam.
+TextTargetWriter::FormatFn text_format_fn(TargetFormat format) {
+  switch (format) {
+    case TargetFormat::kSam: return &format_sam_line;
+    case TargetFormat::kBam: return nullptr;
+    case TargetFormat::kBed: return &textfmt::append_bed;
+    case TargetFormat::kBedgraph: return &textfmt::append_bedgraph;
+    case TargetFormat::kFasta: return &textfmt::append_fasta;
+    case TargetFormat::kFastq: return &textfmt::append_fastq;
+    case TargetFormat::kJson: return &textfmt::append_json;
+    case TargetFormat::kYaml: return &textfmt::append_yaml;
+  }
+  throw UsageError("invalid target format enum");
+}
+
 }  // namespace
+
+bool is_text_target(TargetFormat format) {
+  return text_format_fn(format) != nullptr;
+}
+
+std::string target_prologue(TargetFormat format, const SamHeader& header,
+                            bool include_header) {
+  if (format == TargetFormat::kBam) {
+    throw UsageError("BAM is not a text target (no per-record byte form)");
+  }
+  if (format == TargetFormat::kSam && include_header) {
+    return header.text();
+  }
+  return {};
+}
+
+bool format_target_record(TargetFormat format, const AlignmentRecord& rec,
+                          const SamHeader& header, std::string& out) {
+  TextTargetWriter::FormatFn fn = text_format_fn(format);
+  if (fn == nullptr) {
+    throw UsageError("BAM is not a text target (no per-record byte form)");
+  }
+  return fn(rec, header, out);
+}
 
 std::unique_ptr<TargetWriter> make_target_writer(TargetFormat format,
                                                  const std::string& path,
                                                  const SamHeader& header,
                                                  bool include_header) {
-  switch (format) {
-    case TargetFormat::kSam:
-      return std::make_unique<TextTargetWriter>(
-          path, header, &format_sam_line,
-          include_header ? std::string_view(header.text())
-                         : std::string_view());
-    case TargetFormat::kBam:
-      return std::make_unique<BamTargetWriter>(path, header);
-    case TargetFormat::kBed:
-      return std::make_unique<TextTargetWriter>(path, header,
-                                                &textfmt::append_bed, "");
-    case TargetFormat::kBedgraph:
-      return std::make_unique<TextTargetWriter>(
-          path, header, &textfmt::append_bedgraph, "");
-    case TargetFormat::kFasta:
-      return std::make_unique<TextTargetWriter>(path, header,
-                                                &textfmt::append_fasta, "");
-    case TargetFormat::kFastq:
-      return std::make_unique<TextTargetWriter>(path, header,
-                                                &textfmt::append_fastq, "");
-    case TargetFormat::kJson:
-      return std::make_unique<TextTargetWriter>(path, header,
-                                                &textfmt::append_json, "");
-    case TargetFormat::kYaml:
-      return std::make_unique<TextTargetWriter>(path, header,
-                                                &textfmt::append_yaml, "");
+  if (format == TargetFormat::kBam) {
+    return std::make_unique<BamTargetWriter>(path, header);
   }
-  throw UsageError("invalid target format enum");
+  return std::make_unique<TextTargetWriter>(
+      path, header, text_format_fn(format),
+      target_prologue(format, header, include_header));
 }
 
 }  // namespace ngsx::core

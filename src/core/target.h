@@ -64,4 +64,32 @@ std::unique_ptr<TargetWriter> make_target_writer(TargetFormat format,
                                                  const sam::SamHeader& header,
                                                  bool include_header = true);
 
+// ---------------------------------------------------------------------------
+// Record-level access to the text targets.
+//
+// A text part file is exactly `target_prologue(...)` followed by one
+// `format_target_record(...)` append per input record, in order — the
+// serving layer builds its in-memory responses from these two calls, which
+// is what makes them byte-identical to the files make_target_writer
+// produces. BAM is the one non-text target (BGZF container framing is not
+// a per-record byte function); the record-level calls reject it.
+// ---------------------------------------------------------------------------
+
+/// True for every format whose part file is prologue + per-record lines.
+/// False only for kBam.
+bool is_text_target(TargetFormat format);
+
+/// The bytes a text part file starts with before any record: the SAM
+/// header text for kSam with `include_header`, empty otherwise. Throws
+/// UsageError for kBam.
+std::string target_prologue(TargetFormat format, const sam::SamHeader& header,
+                            bool include_header);
+
+/// Appends one record's target text to `out`; returns true if a target
+/// object was emitted (position-based formats skip unmapped records).
+/// Byte-for-byte what a TextTargetWriter would write for this record.
+/// Throws UsageError for kBam.
+bool format_target_record(TargetFormat format, const sam::AlignmentRecord& rec,
+                          const sam::SamHeader& header, std::string& out);
+
 }  // namespace ngsx::core

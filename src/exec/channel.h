@@ -13,6 +13,19 @@
 // blocks while it is empty. After close(), push() fails fast and pop()
 // keeps delivering until the queue is drained, then reports end-of-stream.
 // try_push()/try_pop() are the non-blocking variants.
+//
+// send()/try_send() are the typed variants: they report *why* a push did
+// not take the value (ChannelStatus::kClosed vs kFull), which shutdown
+// paths need — a daemon distinguishes "the queue is momentarily full,
+// apply backpressure" from "the service is draining, reject for good".
+// The close/drain contract, relied on by clean shutdown everywhere:
+//
+//   * close() is idempotent and wakes every blocked producer and consumer.
+//   * Senders after close get the typed failure kClosed and keep their
+//     value (send/try_send move from the argument only on kAccepted).
+//   * Receivers drain: every item accepted before close is still
+//     delivered by pop()/try_pop(); only then does pop() report
+//     end-of-stream (nullopt).
 
 #pragma once
 
@@ -26,6 +39,13 @@
 
 namespace ngsx::exec {
 
+/// Outcome of a typed channel send.
+enum class ChannelStatus {
+  kAccepted,  // the value was enqueued (and moved from)
+  kClosed,    // the channel is closed; the value was NOT consumed
+  kFull,      // non-blocking send found the channel full (try_send only)
+};
+
 template <typename T>
 class Channel {
  public:
@@ -36,33 +56,46 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  /// Blocks while full. Returns false (dropping `v`) if the channel is or
-  /// becomes closed before space is available.
-  bool push(T v) {
+  /// Typed blocking send: waits while full, then enqueues. Returns
+  /// kAccepted, or kClosed if the channel is or becomes closed before
+  /// space is available — in which case `v` is left untouched, so the
+  /// sender can report or re-route the undelivered value.
+  ChannelStatus send(T& v) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
     if (closed_) {
-      return false;
+      return ChannelStatus::kClosed;
     }
     items_.push_back(std::move(v));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return ChannelStatus::kAccepted;
   }
 
-  /// Non-blocking push; false if full or closed (the value is kept by the
-  /// caller: `v` is only moved from on success).
-  bool try_push(T& v) {
+  /// Typed non-blocking send: kAccepted, kFull, or kClosed (closed wins
+  /// over full). `v` is only moved from on kAccepted.
+  ChannelStatus try_send(T& v) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) {
-        return false;
+      if (closed_) {
+        return ChannelStatus::kClosed;
+      }
+      if (items_.size() >= capacity_) {
+        return ChannelStatus::kFull;
       }
       items_.push_back(std::move(v));
     }
     not_empty_.notify_one();
-    return true;
+    return ChannelStatus::kAccepted;
   }
+
+  /// Blocks while full. Returns false (dropping `v`) if the channel is or
+  /// becomes closed before space is available.
+  bool push(T v) { return send(v) == ChannelStatus::kAccepted; }
+
+  /// Non-blocking push; false if full or closed (the value is kept by the
+  /// caller: `v` is only moved from on success).
+  bool try_push(T& v) { return try_send(v) == ChannelStatus::kAccepted; }
 
   /// Blocks while empty. Returns nullopt once the channel is closed *and*
   /// drained (consumers always see every pushed item).

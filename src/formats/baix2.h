@@ -60,6 +60,11 @@ struct Filter {
 };
 
 /// The v2 index.
+///
+/// Thread-safety: after construction/load the index is immutable; query(),
+/// query_all() and the accessors are const, touch no shared mutable state,
+/// and are safe to call concurrently from any number of threads (the
+/// serving daemon shares one instance across all in-flight requests).
 class Baix2Index {
  public:
   Baix2Index() = default;

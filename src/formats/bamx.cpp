@@ -485,6 +485,20 @@ void BamxReader::read_range(uint64_t begin, uint64_t end,
   }
 }
 
+void BamxReader::read_raw_range(uint64_t begin, uint64_t end,
+                                std::string& out) const {
+  NGSX_CHECK_MSG(begin <= end && end <= n_records_,
+                 "BAMX record range out of bounds");
+  if (begin == end) {
+    return;
+  }
+  uint64_t stride = layout_.stride();
+  std::string bytes =
+      file_.read_at(data_offset_ + begin * stride, (end - begin) * stride);
+  NGSX_CHECK(bytes.size() == (end - begin) * stride);
+  out += bytes;
+}
+
 // -------------------------------------------------------------- BamxManifest
 
 void BamxManifest::save(const std::string& path) const {
@@ -627,6 +641,20 @@ void ShardedBamxReader::read_range(uint64_t begin, uint64_t end,
   }
 }
 
+void ShardedBamxReader::read_raw_range(uint64_t begin, uint64_t end,
+                                       std::string& out) const {
+  NGSX_CHECK_MSG(begin <= end && end <= manifest_.n_records,
+                 "BAMX record range out of bounds");
+  // One bulk read per shard the range crosses, concatenated in record
+  // order — byte-identical to the monolithic data section.
+  for (uint64_t at = begin; at < end;) {
+    size_t k = shard_of(at);
+    uint64_t take = std::min<uint64_t>(end, bases_[k + 1]) - at;
+    shards_[k].read_raw_range(at - bases_[k], at - bases_[k] + take, out);
+    at += take;
+  }
+}
+
 std::unique_ptr<RecordSource> open_record_source(const std::string& path) {
   std::string magic;
   {
@@ -640,8 +668,30 @@ std::unique_ptr<RecordSource> open_record_source(const std::string& path) {
       std::string_view(magic).substr(0, 5) == kBamxMagic) {
     return std::make_unique<BamxReader>(path);
   }
+  // Diagnose precisely: a 0-byte file, a truncated magic, and a wrong
+  // magic are different failures; name the path and hex-dump what was
+  // actually sniffed so the message alone identifies the input.
+  std::string detail;
+  if (magic.empty()) {
+    detail = "the file is empty";
+  } else {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string hex;
+    for (unsigned char c : magic) {
+      if (!hex.empty()) {
+        hex += ' ';
+      }
+      hex += kHex[c >> 4];
+      hex += kHex[c & 0xF];
+    }
+    detail = (magic.size() < kManifestMagic.size()
+                  ? "truncated magic, only " + std::to_string(magic.size()) +
+                        " byte(s): "
+                  : "magic bytes: ") +
+             hex;
+  }
   throw FormatError("'" + path + "' is neither a BAMX file nor a BAMXM "
-                    "shard manifest");
+                    "shard manifest (" + detail + ")");
 }
 
 // ----------------------------------------------------------------- BaixIndex

@@ -115,8 +115,14 @@ class BamxWriter {
 /// Random-access view over preprocessed records: what the conversion phase
 /// actually requires of its input. Implemented by BamxReader (one
 /// monolithic BAMX file) and ShardedBamxReader (M shards behind a
-/// manifest), so every converter works unchanged over either. All methods
-/// are const and safe to call concurrently (positioned reads only).
+/// manifest), so every converter works unchanged over either.
+///
+/// Thread-safety contract (relied on by the serving daemon, which issues
+/// many concurrent region queries against ONE shared reader): every method
+/// is const, implementations hold no mutable cursor or shared scratch, and
+/// all file access is positioned (pread). Concurrent calls to any mix of
+/// methods on the same instance are safe; the geometry accessors return
+/// references to state that is immutable after construction.
 class RecordSource {
  public:
   virtual ~RecordSource() = default;
@@ -134,6 +140,14 @@ class RecordSource {
   /// Reads records [begin, end) appending to `out` (bulk I/O).
   virtual void read_range(uint64_t begin, uint64_t end,
                           std::vector<sam::AlignmentRecord>& out) const = 0;
+
+  /// Appends the still-encoded bytes of records [begin, end) — exactly
+  /// (end - begin) * stride bytes, byte-identical to the on-disk record
+  /// section — to `out`. This is the block-cache fetch path of the serving
+  /// daemon: cached bytes are decoded lazily per record, so one bulk read
+  /// serves many point lookups without holding decoded objects.
+  virtual void read_raw_range(uint64_t begin, uint64_t end,
+                              std::string& out) const = 0;
 };
 
 /// Random-access BAMX reader.
@@ -152,6 +166,9 @@ class BamxReader : public RecordSource {
   /// Reads records [begin, end) appending to `out` (bulk I/O: one pread).
   void read_range(uint64_t begin, uint64_t end,
                   std::vector<sam::AlignmentRecord>& out) const override;
+
+  void read_raw_range(uint64_t begin, uint64_t end,
+                      std::string& out) const override;
 
  private:
   InputFile file_;
@@ -212,6 +229,8 @@ class ShardedBamxReader : public RecordSource {
   std::pair<int32_t, int32_t> read_ref_pos(uint64_t i) const override;
   void read_range(uint64_t begin, uint64_t end,
                   std::vector<sam::AlignmentRecord>& out) const override;
+  void read_raw_range(uint64_t begin, uint64_t end,
+                      std::string& out) const override;
 
  private:
   /// Index of the shard holding global record `i`.
@@ -224,7 +243,8 @@ class ShardedBamxReader : public RecordSource {
 
 /// Opens `path` as a RecordSource, sniffing the magic: a BAMXM manifest
 /// yields a ShardedBamxReader, a BAMX file a BamxReader. Anything else
-/// throws FormatError.
+/// throws FormatError naming the path and the sniffed magic bytes (hex),
+/// so a truncated or mistyped input is diagnosable from the message alone.
 std::unique_ptr<RecordSource> open_record_source(const std::string& path);
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,57 @@
+#include "serve/metrics_flush.h"
+
+#include "obs/metrics.h"
+#include "util/binio.h"
+
+namespace ngsx::serve {
+
+MetricsFlusher::MetricsFlusher(std::string path,
+                               std::chrono::milliseconds interval)
+    : path_(std::move(path)), interval_(interval) {
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsFlusher::~MetricsFlusher() { stop(); }
+
+void MetricsFlusher::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+      break;  // stop() flushes the final state itself
+    }
+    lock.unlock();
+    flush_now();
+    lock.lock();
+  }
+}
+
+void MetricsFlusher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !thread_.joinable()) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  flush_now();  // the file ends on the latest state
+}
+
+void MetricsFlusher::flush_now() {
+  OutputFile out(path_, 1 << 16, OutputFile::Commit::kAtomic);
+  out.write(obs::metrics_json());
+  out.write("\n");
+  out.close();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++flushes_;
+}
+
+uint64_t MetricsFlusher::flushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushes_;
+}
+
+}  // namespace ngsx::serve

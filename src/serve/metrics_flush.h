@@ -1,0 +1,53 @@
+// ngsx/serve/metrics_flush.h
+//
+// Periodic metrics flush: writes an ngsx.metrics.v1 JSON snapshot to a
+// file every interval, through the atomic-commit OutputFile — a scraper
+// reading the path always sees a complete snapshot (stage + fsync +
+// rename), never a torn one. Used by `ngsx_serve --metrics-interval` and
+// `ngsx_convert --metrics-interval`; a long daemon or conversion becomes
+// observable while it runs, not only after it exits.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ngsx::serve {
+
+class MetricsFlusher {
+ public:
+  /// Starts the flush thread; a snapshot lands at `path` every `interval`.
+  MetricsFlusher(std::string path, std::chrono::milliseconds interval);
+
+  /// stop().
+  ~MetricsFlusher();
+
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  /// Stops the thread after one final flush (so the file always ends on
+  /// the latest state). Idempotent.
+  void stop();
+
+  /// Writes one snapshot now (also what the thread calls). Atomic commit:
+  /// the file is replaced, never appended.
+  void flush_now();
+
+  uint64_t flushes() const;
+
+ private:
+  void run();
+
+  const std::string path_;
+  const std::chrono::milliseconds interval_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  uint64_t flushes_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace ngsx::serve

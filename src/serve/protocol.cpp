@@ -1,0 +1,127 @@
+#include "serve/protocol.h"
+
+#include <vector>
+
+#include "util/strutil.h"
+
+namespace ngsx::serve {
+
+namespace {
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t at = 0;
+  while (at < line.size()) {
+    while (at < line.size() && line[at] == ' ') {
+      ++at;
+    }
+    size_t end = at;
+    while (end < line.size() && line[end] != ' ') {
+      ++end;
+    }
+    if (end > at) {
+      tokens.push_back(line.substr(at, end - at));
+    }
+    at = end;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+ProtoRequest parse_request(std::string_view line) {
+  // Tolerate a trailing CR so `nc -C` / telnet-style clients work.
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  const std::vector<std::string_view> tokens = split_tokens(line);
+  if (tokens.empty()) {
+    throw UsageError("empty request");
+  }
+
+  ProtoRequest request;
+  const std::string_view verb = tokens[0];
+  if (verb == "STATS") {
+    request.verb = ProtoRequest::Verb::kStats;
+    return request;
+  }
+  if (verb == "PING") {
+    request.verb = ProtoRequest::Verb::kPing;
+    return request;
+  }
+  if (verb == "SHUTDOWN") {
+    request.verb = ProtoRequest::Verb::kShutdown;
+    return request;
+  }
+  if (verb == "QUIT") {
+    request.verb = ProtoRequest::Verb::kQuit;
+    return request;
+  }
+  if (verb != "CONVERT") {
+    throw UsageError("unknown verb '" + std::string(verb) + "'");
+  }
+
+  if (tokens.size() < 3) {
+    throw UsageError("CONVERT needs <region> <format>");
+  }
+  request.verb = ProtoRequest::Verb::kConvert;
+  request.region = std::string(tokens[1]);
+  request.format = core::parse_target_format(tokens[2]);
+
+  for (size_t t = 3; t < tokens.size(); ++t) {
+    const std::string_view option = tokens[t];
+    if (option == "nodup") {
+      request.filter.include_duplicates = false;
+    } else if (option == "noheader") {
+      request.include_header = false;
+    } else if (strutil::starts_with(option, "mode=")) {
+      const std::string_view value = option.substr(5);
+      if (value == "start") {
+        request.mode = baix2::RegionMode::kStartWithin;
+      } else if (value == "overlap") {
+        request.mode = baix2::RegionMode::kOverlap;
+      } else {
+        throw UsageError("bad mode '" + std::string(value) +
+                         "' (expected start or overlap)");
+      }
+    } else if (strutil::starts_with(option, "mapq=")) {
+      request.filter.min_mapq =
+          strutil::parse_int<int>(option.substr(5), "mapq");
+    } else if (strutil::starts_with(option, "strand=")) {
+      const std::string_view value = option.substr(7);
+      if (value == "fwd") {
+        request.filter.reverse_strand = false;
+      } else if (value == "rev") {
+        request.filter.reverse_strand = true;
+      } else {
+        throw UsageError("bad strand '" + std::string(value) +
+                         "' (expected fwd or rev)");
+      }
+    } else if (strutil::starts_with(option, "deadline-ms=")) {
+      request.deadline_ms =
+          strutil::parse_int<int64_t>(option.substr(12), "deadline-ms");
+    } else {
+      throw UsageError("unknown CONVERT option '" + std::string(option) + "'");
+    }
+  }
+  return request;
+}
+
+std::string ok_response(std::string_view payload) {
+  std::string response = "OK " + std::to_string(payload.size()) + "\n";
+  response += payload;
+  return response;
+}
+
+std::string err_response(std::string_view code, std::string_view message) {
+  std::string response = "ERR ";
+  response += code;
+  response += ' ';
+  for (char c : message) {
+    response += (c == '\n' || c == '\r') ? ' ' : c;
+  }
+  response += '\n';
+  return response;
+}
+
+}  // namespace ngsx::serve

@@ -1,0 +1,59 @@
+// ngsx/serve/protocol.h
+//
+// Newline-delimited request protocol of ngsx_serve (docs/SERVING.md).
+// One request per line, one response per request:
+//
+//   CONVERT <region> <format> [mode=start|overlap] [mapq=<N>]
+//           [strand=fwd|rev] [nodup] [noheader] [deadline-ms=<N>]
+//   STATS        -> ngsx.metrics.v1 JSON snapshot
+//   PING         -> liveness probe
+//   SHUTDOWN     -> drain and stop the daemon
+//   QUIT         -> close this connection only
+//
+// Responses:
+//
+//   OK <payload-bytes>\n<payload>
+//   ERR <code> <message>\n
+//
+// where <code> is a RejectReason wire code ("backpressure", "deadline",
+// "shutting-down", "bad-request", "internal"). The byte count frames the
+// payload exactly, so clients never parse payload content for framing.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/target.h"
+#include "formats/baix2.h"
+
+namespace ngsx::serve {
+
+struct ProtoRequest {
+  enum class Verb { kConvert, kStats, kPing, kShutdown, kQuit };
+
+  Verb verb = Verb::kPing;
+  // CONVERT fields (region text is resolved against the session header by
+  // the server, not here — the protocol layer knows no references).
+  std::string region;
+  core::TargetFormat format = core::TargetFormat::kSam;
+  baix2::RegionMode mode = baix2::RegionMode::kStartWithin;
+  baix2::Filter filter;
+  bool include_header = true;
+  std::optional<int64_t> deadline_ms;
+};
+
+/// Parses one request line (no trailing newline). Throws UsageError with a
+/// client-presentable message on any malformed input.
+ProtoRequest parse_request(std::string_view line);
+
+/// "OK <nbytes>\n<payload>".
+std::string ok_response(std::string_view payload);
+
+/// "ERR <code> <message>\n" (newlines in `message` are flattened to keep
+/// the response a single line).
+std::string err_response(std::string_view code, std::string_view message);
+
+}  // namespace ngsx::serve

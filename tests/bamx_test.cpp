@@ -240,6 +240,112 @@ TEST(BamxFile, EmptyFileRoundTrip) {
   EXPECT_EQ(r.num_records(), 0u);
 }
 
+// ------------------------------------------------------------- raw ranges
+
+TEST(BamxFile, RawRangeMatchesEncodedRecords) {
+  FileFixture f;
+  BamxReader r(f.path);
+  std::string expected;
+  for (uint64_t i = 30; i < 70; ++i) {
+    encode_record(f.records[i], f.layout, expected);
+  }
+  std::string raw;
+  r.read_raw_range(30, 70, raw);
+  EXPECT_EQ(raw, expected);
+  // Appending semantics; empty range is a no-op.
+  r.read_raw_range(10, 10, raw);
+  EXPECT_EQ(raw.size(), 40 * f.layout.stride());
+  r.read_raw_range(0, 1, raw);
+  EXPECT_EQ(raw.size(), 41 * f.layout.stride());
+  // The appended block decodes back to the record it came from.
+  AlignmentRecord back;
+  decode_record(
+      std::string_view(raw).substr(40 * f.layout.stride(), f.layout.stride()),
+      f.layout, back);
+  EXPECT_EQ(back, f.records[0]);
+  EXPECT_THROW(r.read_raw_range(0, f.records.size() + 1, raw), Error);
+}
+
+TEST(BamxFile, RawRangeAcrossShards) {
+  FileFixture f;  // 200 records, shared layout
+  // Hand-shard the fixture's records into three BAMX files plus manifest.
+  const std::vector<std::pair<uint64_t, uint64_t>> parts = {
+      {0, 80}, {80, 130}, {130, 200}};
+  BamxManifest m;
+  m.layout = f.layout;
+  m.n_records = f.records.size();
+  for (size_t s = 0; s < parts.size(); ++s) {
+    std::string name = "shard-" + std::to_string(s) + ".bamx";
+    BamxWriter w(f.tmp.file(name), test_header(), f.layout);
+    for (uint64_t i = parts[s].first; i < parts[s].second; ++i) {
+      w.write(f.records[i]);
+    }
+    w.close();
+    m.shards.push_back(
+        {name, parts[s].second - parts[s].first, parts[s].first});
+  }
+  std::string manifest = f.tmp.file("t.bamxm");
+  m.save(manifest);
+
+  ShardedBamxReader sharded(manifest);
+  BamxReader mono(f.path);
+  // Ranges fully inside a shard, touching a boundary, and spanning all
+  // three shards must all match the monolithic bytes exactly.
+  for (auto [beg, end] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 0}, {5, 40}, {78, 82}, {80, 130}, {60, 170}, {0, 200}}) {
+    std::string a, b;
+    mono.read_raw_range(beg, end, a);
+    sharded.read_raw_range(beg, end, b);
+    EXPECT_EQ(a, b) << "range [" << beg << ", " << end << ")";
+    EXPECT_EQ(a.size(), (end - beg) * f.layout.stride());
+  }
+  std::string out;
+  EXPECT_THROW(sharded.read_raw_range(0, 201, out), Error);
+}
+
+// ------------------------------------------------------ open_record_source
+
+std::string open_error(const std::string& path) {
+  try {
+    open_record_source(path);
+  } catch (const FormatError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "no FormatError for " << path;
+  return {};
+}
+
+TEST(OpenRecordSource, EmptyFileNamedInError) {
+  TempDir tmp;
+  std::string path = tmp.file("zero.bamx");
+  write_file(path, "");
+  std::string msg = open_error(path);
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("the file is empty"), std::string::npos) << msg;
+}
+
+TEST(OpenRecordSource, TruncatedMagicHexDumped) {
+  TempDir tmp;
+  std::string path = tmp.file("two.bamx");
+  write_file(path, "BA");  // 2 bytes: a plausible but cut-short magic
+  std::string msg = open_error(path);
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("truncated magic, only 2 byte(s)"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("42 41"), std::string::npos) << msg;  // 'B' 'A' in hex
+}
+
+TEST(OpenRecordSource, UnknownMagicHexDumped) {
+  TempDir tmp;
+  std::string path = tmp.file("seven.bin");
+  write_file(path, "NOTBAM!");  // 7 bytes, wrong magic
+  std::string msg = open_error(path);
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  // Only the six sniffed bytes are reported: "NOTBAM".
+  EXPECT_NE(msg.find("magic bytes: 4e 4f 54 42 41 4d"), std::string::npos)
+      << msg;
+}
+
 // -------------------------------------------------------------------- BAIX
 
 TEST(Baix, BuildSortsByRefThenPos) {

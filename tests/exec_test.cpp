@@ -212,6 +212,94 @@ TEST(Channel, CloseUnblocksProducer) {
   producer.join();
 }
 
+TEST(Channel, TypedSendDistinguishesFullFromClosed) {
+  Channel<int> ch(1);
+  int v = 7;
+  EXPECT_EQ(ch.try_send(v), ChannelStatus::kAccepted);
+  int w = 8;
+  EXPECT_EQ(ch.try_send(w), ChannelStatus::kFull);
+  EXPECT_EQ(w, 8);  // kept by the caller when not accepted
+  ch.close();
+  EXPECT_EQ(ch.try_send(w), ChannelStatus::kClosed);  // closed wins over full
+  EXPECT_EQ(w, 8);
+}
+
+TEST(Channel, SendersAfterCloseGetTypedFailureReceiversDrain) {
+  Channel<std::string> ch(8);
+  std::string a = "a";
+  std::string b = "b";
+  EXPECT_EQ(ch.send(a), ChannelStatus::kAccepted);
+  EXPECT_EQ(ch.send(b), ChannelStatus::kAccepted);
+  ch.close();
+  ch.close();  // idempotent
+  std::string late = "late";
+  EXPECT_EQ(ch.send(late), ChannelStatus::kClosed);
+  EXPECT_EQ(late, "late");  // value not consumed on kClosed
+  EXPECT_EQ(ch.try_send(late), ChannelStatus::kClosed);
+  EXPECT_EQ(late, "late");
+  // Receivers drain everything accepted before close, then end-of-stream.
+  EXPECT_EQ(ch.pop(), std::optional<std::string>("a"));
+  EXPECT_EQ(ch.pop(), std::optional<std::string>("b"));
+  EXPECT_EQ(ch.pop(), std::nullopt);
+}
+
+TEST(Channel, CloseWakesBlockedTypedSenderWithKClosed) {
+  Channel<int> ch(1);
+  EXPECT_TRUE(ch.push(1));
+  std::atomic<bool> got_closed{false};
+  std::thread producer([&] {
+    int v = 2;
+    got_closed.store(ch.send(v) == ChannelStatus::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  producer.join();
+  EXPECT_TRUE(got_closed.load());
+  // The queued item from before close still drains.
+  EXPECT_EQ(ch.pop(), std::optional<int>(1));
+  EXPECT_EQ(ch.pop(), std::nullopt);
+}
+
+TEST(Channel, ConcurrentProducersDrainCompletelyAfterClose) {
+  // Many producers racing close(): every value that was *accepted* must be
+  // delivered to consumers exactly once; every rejected send must report
+  // kClosed and leave the value intact.
+  Channel<int> ch(4);
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < 64; ++i) {
+        int v = t * 1000 + i;
+        ChannelStatus s = ch.send(v);
+        if (s == ChannelStatus::kAccepted) {
+          accepted.fetch_add(1);
+        } else {
+          EXPECT_EQ(s, ChannelStatus::kClosed);
+          EXPECT_EQ(v, t * 1000 + i);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::atomic<int> received{0};
+  std::thread consumer([&] {
+    while (ch.pop().has_value()) {
+      received.fetch_add(1);
+      if (received.load() == 100) {
+        ch.close();  // close mid-stream with producers still sending
+      }
+    }
+  });
+  for (auto& p : producers) {
+    p.join();
+  }
+  consumer.join();
+  EXPECT_EQ(accepted.load() + rejected.load(), 4 * 64);
+  EXPECT_EQ(received.load(), accepted.load());  // drained, nothing lost
+}
+
 // ----------------------------------------------------------- parallel_for
 
 TEST(ParallelFor, SumProperty) {
