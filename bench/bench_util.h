@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
@@ -19,8 +20,36 @@
 
 #include "cluster/clustersim.h"
 #include "cluster/costmodel.h"
+#include "util/timer.h"
 
 namespace ngsx::bench {
+
+/// Throughput of a kernel in GB/s: calls `fn` (which must process
+/// `bytes_per_iter` bytes per call) in `batches` timed batches of at
+/// least `min_seconds / batches` wall time each, after one warm-up call,
+/// and returns the best batch rate. Best-of-batches filters scheduler
+/// noise on shared machines; bench_codec uses this for every
+/// scalar-vs-vectorized pair so both sides see identical harness
+/// overhead.
+template <typename Fn>
+inline double measure_gbps(size_t bytes_per_iter, Fn&& fn,
+                           double min_seconds = 0.3, int batches = 3) {
+  fn();  // warm-up: page in buffers, settle dispatch statics
+  double best = 0.0;
+  for (int b = 0; b < batches; ++b) {
+    WallTimer timer;
+    size_t iters = 0;
+    double elapsed;
+    do {
+      fn();
+      ++iters;
+      elapsed = timer.seconds();
+    } while (elapsed < min_seconds / batches);
+    best = std::max(best, static_cast<double>(bytes_per_iter) *
+                              static_cast<double>(iters) / elapsed / 1e9);
+  }
+  return best;
+}
 
 /// The paper's platform (§V): 32 nodes x 8 cores of AMD Opteron 8218.
 /// I/O parameters approximate a 2013-era cluster with a shared parallel

@@ -8,9 +8,12 @@
 #include "formats/bam.h"
 #include "formats/bamx.h"
 #include "formats/bgzf.h"
+#include "formats/seqcodec.h"
 #include "formats/textfmt.h"
 #include "simdata/readsim.h"
 #include "util/rng.h"
+#include "util/simd.h"
+#include "util/strutil.h"
 
 namespace {
 
@@ -237,6 +240,103 @@ BENCHMARK(BM_TextTarget<&textfmt::append_fasta>)->Name("BM_FormatFasta");
 BENCHMARK(BM_TextTarget<&textfmt::append_fastq>)->Name("BM_FormatFastq");
 BENCHMARK(BM_TextTarget<&textfmt::append_json>)->Name("BM_FormatJson");
 BENCHMARK(BM_TextTarget<&textfmt::append_yaml>)->Name("BM_FormatYaml");
+
+// --------------------------------------------------- byte-level kernels
+//
+// Scalar-vs-dispatched GB/s for the util/simd.h and seqcodec kernels;
+// bench_codec emits the same comparison as BENCH_codec.json, these rows
+// track it run-to-run under google-benchmark.
+
+std::string& sam_text_blob() {
+  static std::string text = [] {
+    Fixture& f = fixture();
+    std::string t;
+    for (const auto& line : f.sam_lines) {
+      t += line;
+      t += '\n';
+    }
+    return t;
+  }();
+  return text;
+}
+
+template <size_t (*FindByte)(const char*, size_t, char)>
+void BM_Tokenize(benchmark::State& state) {
+  const std::string& text = sam_text_blob();
+  std::vector<std::string_view> fields;
+  for (auto _ : state) {
+    size_t pos = 0;
+    size_t sink = 0;
+    while (pos < text.size()) {
+      size_t nl =
+          pos + FindByte(text.data() + pos, text.size() - pos, '\n');
+      std::string_view line(text.data() + pos, nl - pos);
+      pos = nl == text.size() ? text.size() : nl + 1;
+      strutil::split(line, '\t', fields);
+      sink += fields.size();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Tokenize<&simd::find_byte_scalar>)->Name("BM_TokenizeScalar");
+BENCHMARK(BM_Tokenize<&simd::find_byte>)->Name("BM_TokenizeSimd");
+
+template <void (*Unpack)(const char*, size_t, std::string&)>
+void BM_SeqUnpack(benchmark::State& state) {
+  const size_t l_seq = 1 << 20;
+  Rng rng(13);
+  std::string packed((l_seq + 1) / 2, '\0');
+  for (auto& c : packed) {
+    c = static_cast<char>(rng.below(256));
+  }
+  std::string out;
+  for (auto _ : state) {
+    Unpack(packed.data(), l_seq, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(l_seq));
+}
+BENCHMARK(BM_SeqUnpack<&seqcodec::unpack_seq_scalar>)
+    ->Name("BM_SeqUnpackScalar");
+BENCHMARK(BM_SeqUnpack<&seqcodec::unpack_seq>)->Name("BM_SeqUnpackSimd");
+
+void BM_SeqPack(benchmark::State& state) {
+  const size_t l_seq = 1 << 20;
+  Rng rng(14);
+  std::string seq(l_seq, '\0');
+  for (auto& c : seq) {
+    c = seqcodec::kNibbles[rng.below(16)];
+  }
+  std::string packed((l_seq + 1) / 2, '\0');
+  for (auto _ : state) {
+    seqcodec::pack_seq_into(seq, packed.data());
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(l_seq));
+}
+BENCHMARK(BM_SeqPack);
+
+template <uint32_t (*Crc)(uint32_t, const void*, size_t)>
+void BM_Crc32(benchmark::State& state) {
+  Rng rng(15);
+  std::string buf(static_cast<size_t>(state.range(0)), '\0');
+  for (auto& c : buf) {
+    c = static_cast<char>(rng.below(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc(0, buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32<&simd::crc32_ieee_scalar>)
+    ->Name("BM_Crc32Scalar")
+    ->Arg(65000);
+BENCHMARK(BM_Crc32<&simd::crc32_ieee>)->Name("BM_Crc32Simd")->Arg(65000);
 
 void BM_Reg2Bin(benchmark::State& state) {
   int32_t pos = 0;

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf regression floor for BENCH_codec.json (bench/bench_codec.cpp).
+
+Checks, in order of strictness:
+
+  1. Every kernel's dispatched (simd) rate is at least NOISE_FLOOR of its
+     scalar baseline — the vector pass must never be a pessimization.
+  2. When a SIMD level is active (simd_level != "scalar"), the two
+     headline kernels from the issue's acceptance criteria — SAM
+     tokenization and packed-seq decode — must show >= MIN_SPEEDUP over
+     their scalar baselines.
+  3. Every reported rate is positive and finite (catches a silently
+     broken harness emitting zeros).
+
+Scalar-only builds (simd_level == "scalar") skip check 2: there is no
+vector kernel to be faster, and check 1 degenerates to simd ~= scalar.
+
+Usage: check_bench_codec.py [path-to-BENCH_codec.json]
+"""
+
+import json
+import math
+import sys
+
+# The dispatched side may lose a little to measurement noise on shared CI
+# runners, but never a lot: on a quiet machine the ratio is 3-8x.
+NOISE_FLOOR = 0.85
+MIN_SPEEDUP = 2.0
+HEADLINE_KERNELS = ("sam_tokenize", "seq_unpack")
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_codec.json"
+    with open(path) as f:
+        data = json.load(f)
+
+    features = data.get("features", {})
+    kernels = data.get("kernels", [])
+    codecs = data.get("codecs", [])
+    if not kernels:
+        fail(f"{path} has no kernels section")
+
+    simd_level = features.get("simd_level", "scalar")
+    simd_active = simd_level != "scalar"
+    print(f"simd_level={simd_level} crc32={features.get('crc32_impl')} "
+          f"unpack={features.get('unpack_kernel')} "
+          f"libdeflate={features.get('libdeflate_available')}")
+
+    by_name = {}
+    for k in kernels:
+        name = k["name"]
+        scalar = k["scalar_gbps"]
+        fast = k["simd_gbps"]
+        by_name[name] = k
+        for label, rate in (("scalar", scalar), ("simd", fast)):
+            if not (isinstance(rate, (int, float)) and math.isfinite(rate)
+                    and rate > 0):
+                fail(f"kernel {name}: {label}_gbps={rate!r} is not a "
+                     "positive finite number")
+        ratio = fast / scalar
+        print(f"  {name:<14} scalar {scalar:7.2f} GB/s  "
+              f"simd {fast:7.2f} GB/s  {ratio:5.2f}x  ({k.get('kernel')})")
+        if ratio < NOISE_FLOOR:
+            fail(f"kernel {name}: dispatched rate {fast:.2f} GB/s is below "
+                 f"{NOISE_FLOOR:.2f}x its scalar baseline {scalar:.2f} GB/s "
+                 "— the vector pass regressed")
+
+    missing = [n for n in HEADLINE_KERNELS if n not in by_name]
+    if missing:
+        fail(f"missing headline kernels in {path}: {missing}")
+
+    if simd_active:
+        for name in HEADLINE_KERNELS:
+            k = by_name[name]
+            speedup = k["simd_gbps"] / k["scalar_gbps"]
+            if speedup < MIN_SPEEDUP:
+                fail(f"kernel {name}: speedup {speedup:.2f}x < required "
+                     f"{MIN_SPEEDUP:.1f}x (simd_level={simd_level})")
+        print(f"headline kernels >= {MIN_SPEEDUP:.1f}x: OK")
+    else:
+        print("scalar-only build: speedup floor skipped")
+
+    for c in codecs:
+        for key in ("deflate_gbps", "inflate_gbps"):
+            rate = c[key]
+            if not (isinstance(rate, (int, float)) and math.isfinite(rate)
+                    and rate > 0):
+                fail(f"codec {c['backend']}: {key}={rate!r} is not a "
+                     "positive finite number")
+        print(f"  codec {c['backend']:<10} deflate {c['deflate_gbps']:.3f} "
+              f"GB/s  inflate {c['inflate_gbps']:.3f} GB/s")
+
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@
 #include "mpi/minimpi.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 #include "util/strutil.h"
 #include "util/timer.h"
 
@@ -96,8 +97,9 @@ class LineRangeReader {
   /// Next complete line (without '\n'); false when the range is exhausted.
   bool next(std::string_view& line) {
     while (true) {
-      size_t nl = buffer_.find('\n', pos_);
-      if (nl != std::string::npos) {
+      size_t nl = pos_ + simd::find_byte(buffer_.data() + pos_,
+                                         buffer_.size() - pos_, '\n');
+      if (nl != buffer_.size()) {
         line = std::string_view(buffer_.data() + pos_, nl - pos_);
         pos_ = nl + 1;
         return true;

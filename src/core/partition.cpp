@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace ngsx::core {
 
 std::vector<ByteRange> split_even(uint64_t offset, uint64_t length, int n) {
@@ -32,8 +34,9 @@ uint64_t scan_forward_to_line_start(const InputFile& file, uint64_t from,
     if (buf.empty()) {
       break;
     }
-    size_t nl = buf.find('\n');
-    if (nl != std::string::npos) {
+    // Vectorized newline scan (util/simd.h): returns buf.size() if absent.
+    size_t nl = simd::find_byte(buf.data(), buf.size(), '\n');
+    if (nl != buf.size()) {
       return pos + nl + 1;
     }
     pos += buf.size();
@@ -49,8 +52,8 @@ uint64_t scan_backward_to_line_start(const InputFile& file, uint64_t from,
     uint64_t chunk_begin =
         pos > floor + kScanChunk ? pos - kScanChunk : floor;
     buf = file.read_at(chunk_begin, static_cast<size_t>(pos - chunk_begin));
-    size_t nl = buf.rfind('\n');
-    if (nl != std::string::npos) {
+    size_t nl = simd::rfind_byte(buf.data(), buf.size(), '\n');
+    if (nl != simd::kNpos) {
       return chunk_begin + nl + 1;
     }
     pos = chunk_begin;

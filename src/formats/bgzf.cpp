@@ -1,12 +1,11 @@
 #include "formats/bgzf.h"
 
-#include <zlib.h>
-
 #include <algorithm>
 #include <cstring>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 
 namespace ngsx::bgzf {
 
@@ -23,11 +22,6 @@ const unsigned char kEofBlock[28] = {
     0x1f, 0x8b, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff,
     0x06, 0x00, 0x42, 0x43, 0x02, 0x00, 0x1b, 0x00, 0x03, 0x00,
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
-
-[[noreturn]] void zlib_error(const char* op, int code) {
-  throw FormatError(std::string("zlib ") + op + " failed with code " +
-                    std::to_string(code));
-}
 
 /// Decorates a block-level error message with the compressed file offset
 /// when one is known, so concurrent decoders report *where* the stream
@@ -75,24 +69,18 @@ std::string_view eof_marker() {
                           sizeof(kEofBlock));
 }
 
+uint32_t crc32(uint32_t crc, const void* data, size_t n) {
+  return simd::crc32_ieee(crc, data, n);
+}
+
 // ----------------------------------------------------------------- Deflater
 
-Deflater::Deflater(int level) : zs_(new z_stream{}), level_(level) {
-  int rc = deflateInit2(zs_, level_, Z_DEFLATED, /*windowBits=*/-15,
-                        /*memLevel=*/8, Z_DEFAULT_STRATEGY);
-  if (rc != Z_OK) {
-    delete zs_;
-    zs_ = nullptr;
-    zlib_error("deflateInit2", rc);
-  }
-}
+Deflater::Deflater(int level, Backend backend)
+    : codec_(make_codec(backend)), level_(level) {}
 
-Deflater::~Deflater() {
-  if (zs_ != nullptr) {
-    deflateEnd(zs_);
-    delete zs_;
-  }
-}
+Deflater::~Deflater() = default;
+
+const char* Deflater::backend() const { return codec_->name(); }
 
 void Deflater::compress(std::string_view input, std::string& out, int level) {
   NGSX_CHECK_MSG(input.size() <= kMaxBlockInput,
@@ -101,35 +89,13 @@ void Deflater::compress(std::string_view input, std::string& out, int level) {
   const bool recording = obs::metrics_enabled();
   const uint64_t start_ns = recording ? obs::detail::monotonic_ns() : 0;
   const size_t out_start = out.size();
-  // Raw deflate (windowBits = -15): we write the gzip wrapper ourselves so
-  // we can place the BC extra field. The stream is recycled with
-  // deflateReset; a level change (rare) pays a full reinit.
-  int rc;
-  if (level != level_) {
-    deflateEnd(zs_);
-    *zs_ = z_stream{};
-    rc = deflateInit2(zs_, level, Z_DEFLATED, /*windowBits=*/-15,
-                      /*memLevel=*/8, Z_DEFAULT_STRATEGY);
-    level_ = level;
-  } else {
-    rc = deflateReset(zs_);
-  }
-  if (rc != Z_OK) {
-    zlib_error("deflateReset", rc);
-  }
-  size_t bound = deflateBound(zs_, input.size());
-  std::string body(bound, '\0');
-  zs_->next_in = reinterpret_cast<Bytef*>(const_cast<char*>(input.data()));
-  zs_->avail_in = static_cast<uInt>(input.size());
-  zs_->next_out = reinterpret_cast<Bytef*>(body.data());
-  zs_->avail_out = static_cast<uInt>(body.size());
-  rc = deflate(zs_, Z_FINISH);
-  if (rc != Z_STREAM_END) {
-    zlib_error("deflate", rc);
-  }
-  body.resize(zs_->total_out);
+  // Raw deflate: we write the gzip wrapper ourselves so we can place the
+  // BC extra field. The codec stream is recycled across blocks; a level
+  // change (rare) pays a backend reinit.
+  codec_->deflate_raw(input, body_, level);
+  level_ = level;
 
-  size_t total = kHeaderSize + body.size() + kFooterSize;
+  size_t total = kHeaderSize + body_.size() + kFooterSize;
   if (total - 1 > 0xFFFF) {
     throw FormatError("BGZF compressed block exceeds 64 KiB");
   }
@@ -140,13 +106,9 @@ void Deflater::compress(std::string_view input, std::string& out, int level) {
                                            0x42, 0x43, 0x02, 0x00};
   out.append(reinterpret_cast<const char*>(prefix), sizeof(prefix));
   binio::put_le<uint16_t>(out, static_cast<uint16_t>(total - 1));  // BSIZE
-  out += body;
+  out += body_;
 
-  uint32_t crc = static_cast<uint32_t>(
-      crc32(crc32(0L, Z_NULL, 0),
-            reinterpret_cast<const Bytef*>(input.data()),
-            static_cast<uInt>(input.size())));
-  binio::put_le<uint32_t>(out, crc);
+  binio::put_le<uint32_t>(out, crc32(0, input.data(), input.size()));
   binio::put_le<uint32_t>(out, static_cast<uint32_t>(input.size()));
   if (recording) {
     EncodeMetrics& m = encode_metrics();
@@ -195,21 +157,11 @@ size_t peek_block_size(std::string_view data) {
 
 // ----------------------------------------------------------------- Inflater
 
-Inflater::Inflater() : zs_(new z_stream{}) {
-  int rc = inflateInit2(zs_, /*windowBits=*/-15);
-  if (rc != Z_OK) {
-    delete zs_;
-    zs_ = nullptr;
-    zlib_error("inflateInit2", rc);
-  }
-}
+Inflater::Inflater(Backend backend) : codec_(make_codec(backend)) {}
 
-Inflater::~Inflater() {
-  if (zs_ != nullptr) {
-    inflateEnd(zs_);
-    delete zs_;
-  }
-}
+Inflater::~Inflater() = default;
+
+const char* Inflater::backend() const { return codec_->name(); }
 
 size_t Inflater::decompress(std::string_view block, std::string& out,
                             uint64_t coffset) {
@@ -235,28 +187,13 @@ size_t Inflater::decompress(std::string_view block, std::string& out,
   size_t out_start = out.size();
   out.resize(out_start + isize);
 
-  // inflateReset also recovers the stream after a prior data error, so a
-  // long-lived Inflater stays usable when a caller survives a bad block.
-  int rc = inflateReset(zs_);
-  if (rc != Z_OK) {
-    zlib_error("inflateReset", rc);
-  }
-  zs_->next_in = reinterpret_cast<Bytef*>(
-      const_cast<char*>(block.data() + body_begin));
-  zs_->avail_in = static_cast<uInt>(body_size);
-  zs_->next_out = reinterpret_cast<Bytef*>(out.data() + out_start);
-  zs_->avail_out = static_cast<uInt>(isize);
-  rc = inflate(zs_, Z_FINISH);
-  if (rc != Z_STREAM_END || zs_->total_out != isize) {
+  if (!codec_->inflate_raw(block.substr(body_begin, body_size),
+                           out.data() + out_start, isize)) {
     out.resize(out_start);
     block_error("BGZF inflate failed or ISIZE mismatch", coffset);
   }
 
-  uint32_t crc = static_cast<uint32_t>(
-      crc32(crc32(0L, Z_NULL, 0),
-            reinterpret_cast<const Bytef*>(out.data() + out_start),
-            static_cast<uInt>(isize)));
-  if (crc != expect_crc) {
+  if (crc32(0, out.data() + out_start, isize) != expect_crc) {
     out.resize(out_start);
     block_error("BGZF CRC mismatch", coffset);
   }

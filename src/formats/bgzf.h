@@ -16,10 +16,9 @@
 #include <string>
 #include <string_view>
 
+#include "formats/bgzf_codec.h"
 #include "util/binio.h"
 #include "util/common.h"
-
-struct z_stream_s;  // zlib; kept out of this header
 
 namespace ngsx::bgzf {
 
@@ -38,6 +37,13 @@ constexpr uint64_t kNoOffset = ~0ull;
 /// The 28-byte empty block that marks end-of-file (SAM spec §4.1.2).
 std::string_view eof_marker();
 
+/// CRC-32 (gzip polynomial) with zlib call semantics; the checksum seam
+/// for every BGZF block written or verified. Dispatches to a
+/// carry-less-multiply (x86 PCLMULQDQ) or ARMv8 CRC kernel when the CPU
+/// has one, slice-by-8 otherwise (util/simd.h); all paths are bit-exact
+/// with zlib's crc32().
+uint32_t crc32(uint32_t crc, const void* data, size_t n);
+
 /// Packs a virtual offset from a compressed block start and an offset into
 /// the uncompressed block payload.
 constexpr uint64_t make_voffset(uint64_t compressed_offset,
@@ -49,39 +55,43 @@ constexpr uint32_t voffset_uoffset(uint64_t v) {
   return static_cast<uint32_t>(v & 0xFFFFu);
 }
 
-/// Reusable BGZF block compressor: one z_stream held across blocks and
-/// recycled with deflateReset, so steady-state compression skips the
-/// per-block deflateInit2 setup the free function pays. Output is
-/// byte-identical to compress_block at the same level (deflate is
-/// deterministic for fixed parameters). Not thread-safe; use one per
-/// thread (the parallel writer keeps one per worker).
+/// Reusable BGZF block compressor: one raw-deflate codec (bgzf_codec.h)
+/// held across blocks and recycled, so steady-state compression skips the
+/// per-block stream setup the free function pays. With the default zlib
+/// backend, output is byte-identical to compress_block at the same level
+/// (deflate is deterministic for fixed parameters). Not thread-safe; use
+/// one per thread (the parallel writer keeps one per worker).
 class Deflater {
  public:
-  explicit Deflater(int level = 6);
+  explicit Deflater(int level = 6, Backend backend = Backend::kAuto);
   ~Deflater();
 
   Deflater(const Deflater&) = delete;
   Deflater& operator=(const Deflater&) = delete;
 
   /// Compresses `input` (<= kMaxBlockInput bytes) into one complete BGZF
-  /// block appended to `out`. Changing `level` between calls reinitializes
-  /// the stream; a stable level costs only a deflateReset.
+  /// block appended to `out`. Changing `level` between calls may
+  /// reinitialize the backend stream; a stable level is cheap.
   void compress(std::string_view input, std::string& out, int level);
   void compress(std::string_view input, std::string& out) {
     compress(input, out, level_);
   }
 
+  /// Active raw-deflate backend ("zlib" or "libdeflate").
+  const char* backend() const;
+
  private:
-  z_stream_s* zs_ = nullptr;
+  std::unique_ptr<Codec> codec_;
+  std::string body_;  // compressed-body scratch, reused across blocks
   int level_;
 };
 
-/// Reusable BGZF block decompressor: one z_stream recycled with
-/// inflateReset across blocks (the sequential and parallel readers both
-/// hold long-lived instances). Not thread-safe.
+/// Reusable BGZF block decompressor: one raw-deflate codec recycled
+/// across blocks (the sequential and parallel readers both hold
+/// long-lived instances). Not thread-safe.
 class Inflater {
  public:
-  Inflater();
+  explicit Inflater(Backend backend = Backend::kAuto);
   ~Inflater();
 
   Inflater(const Inflater&) = delete;
@@ -94,8 +104,11 @@ class Inflater {
   size_t decompress(std::string_view block, std::string& out,
                     uint64_t coffset = kNoOffset);
 
+  /// Active raw-deflate backend ("zlib" or "libdeflate").
+  const char* backend() const;
+
  private:
-  z_stream_s* zs_ = nullptr;
+  std::unique_ptr<Codec> codec_;
 };
 
 /// Compresses `input` (<= kMaxBlockInput bytes) into one complete BGZF
@@ -203,7 +216,7 @@ class Reader final : public ReaderBase {
   bool load_block(uint64_t coffset);
 
   InputFile file_;
-  Inflater inflater_;              // one z_stream reused across blocks
+  Inflater inflater_;              // one codec stream reused across blocks
   std::string block_;              // decompressed payload of cached block
   uint64_t block_coffset_ = 0;     // compressed offset of cached block
   size_t block_csize_ = 0;         // compressed size of cached block

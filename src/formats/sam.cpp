@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/simd.h"
 #include "util/strutil.h"
 
 namespace ngsx::sam {
@@ -13,14 +14,27 @@ using strutil::parse_int;
 
 namespace {
 constexpr std::string_view kCigarOps = "MIDNSHP=X";
+
+// 256-entry char -> op-code LUT (0xFF = invalid), replacing the linear
+// kCigarOps.find() on the per-op parse path.
+constexpr std::array<uint8_t, 256> kCigarCode = [] {
+  std::array<uint8_t, 256> t{};
+  for (auto& v : t) {
+    v = 0xFF;
+  }
+  for (size_t i = 0; i < kCigarOps.size(); ++i) {
+    t[static_cast<unsigned char>(kCigarOps[i])] = static_cast<uint8_t>(i);
+  }
+  return t;
+}();
 }  // namespace
 
 uint32_t cigar_op_code(char op) {
-  size_t idx = kCigarOps.find(op);
-  if (idx == std::string_view::npos) {
+  uint8_t code = kCigarCode[static_cast<unsigned char>(op)];
+  if (code == 0xFF) {
     throw FormatError(std::string("unknown CIGAR op '") + op + "'");
   }
-  return static_cast<uint32_t>(idx);
+  return code;
 }
 
 char cigar_op_char(uint32_t code) {
@@ -51,10 +65,10 @@ SamHeader SamHeader::from_text(std::string_view text) {
   size_t pos = 0;
   std::vector<std::string_view> fields;
   while (pos < text.size()) {
-    size_t nl = text.find('\n', pos);
-    std::string_view line =
-        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
-    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    size_t nl = pos + simd::find_byte(text.data() + pos, text.size() - pos,
+                                      '\n');
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl == text.size() ? text.size() : nl + 1;
     if (line.empty()) {
       continue;
     }
@@ -445,8 +459,10 @@ SamFileReader::SamFileReader(const std::string& path)
         done = true;
         break;
       }
-      size_t nl = chunk.find('\n', line_start);
-      if (nl == std::string::npos) {
+      size_t nl = line_start + simd::find_byte(chunk.data() + line_start,
+                                               chunk.size() - line_start,
+                                               '\n');
+      if (nl == chunk.size()) {
         break;  // header line spans chunk boundary; reread from line_start
       }
       header_text.append(chunk, line_start, nl - line_start + 1);
@@ -478,8 +494,10 @@ bool SamFileReader::fill() {
 
 bool SamFileReader::next(AlignmentRecord& out) {
   while (true) {
-    size_t nl = buffer_.find('\n', buffer_pos_);
-    if (nl == std::string::npos) {
+    size_t nl = buffer_pos_ + simd::find_byte(buffer_.data() + buffer_pos_,
+                                              buffer_.size() - buffer_pos_,
+                                              '\n');
+    if (nl == buffer_.size()) {
       bool more_possible = file_pos_ < file_size_;
       if (!more_possible) {
         // Final line without trailing newline.

@@ -1,0 +1,104 @@
+// Vectorized bulk kernels behind seqcodec::detail::unpack_bulk. The 16-char
+// nibble alphabet is exactly one pshufb table, so each packed byte splits
+// into its two nibbles, both nibbles index the register-resident table, and
+// an interleave writes 2 output bases per input byte — 32 bases per step
+// under SSSE3, 64 under AVX2. Scalar tail and fallback share the 256-entry
+// byte table with the header.
+
+#include "formats/seqcodec.h"
+
+#include "util/simd.h"
+
+#if !defined(NGSX_SCALAR_ONLY) && (defined(__x86_64__) || defined(__i386__))
+#define NGSX_SEQCODEC_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ngsx::seqcodec::detail {
+
+namespace {
+
+#ifdef NGSX_SEQCODEC_X86
+
+__attribute__((target("ssse3")))
+void unpack_bulk_ssse3(const char* packed, size_t full, char* dst) {
+  const __m128i table = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(kNibbles.data()));
+  const __m128i lo_mask = _mm_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 16 <= full; i += 16) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(packed + i));
+    __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), lo_mask);
+    __m128i lo = _mm_and_si128(v, lo_mask);
+    __m128i chi = _mm_shuffle_epi8(table, hi);
+    __m128i clo = _mm_shuffle_epi8(table, lo);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 2 * i),
+                     _mm_unpacklo_epi8(chi, clo));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 2 * i + 16),
+                     _mm_unpackhi_epi8(chi, clo));
+  }
+  unpack_bulk_scalar(packed + i, full - i, dst + 2 * i);
+}
+
+__attribute__((target("avx2")))
+void unpack_bulk_avx2(const char* packed, size_t full, char* dst) {
+  const __m256i table = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNibbles.data())));
+  const __m256i lo_mask = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= full; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(packed + i));
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), lo_mask);
+    __m256i lo = _mm256_and_si256(v, lo_mask);
+    __m256i chi = _mm256_shuffle_epi8(table, hi);
+    __m256i clo = _mm256_shuffle_epi8(table, lo);
+    // unpack{lo,hi} interleave within 128-bit lanes; permute2x128 stitches
+    // the lanes back into sequential output order.
+    __m256i ilo = _mm256_unpacklo_epi8(chi, clo);
+    __m256i ihi = _mm256_unpackhi_epi8(chi, clo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 2 * i),
+                        _mm256_permute2x128_si256(ilo, ihi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 2 * i + 32),
+                        _mm256_permute2x128_si256(ilo, ihi, 0x31));
+  }
+  unpack_bulk_scalar(packed + i, full - i, dst + 2 * i);
+}
+
+#endif  // NGSX_SEQCODEC_X86
+
+struct UnpackDispatch {
+  void (*fn)(const char*, size_t, char*);
+  const char* name;
+};
+
+const UnpackDispatch& unpack_dispatch() {
+  static const UnpackDispatch d = []() -> UnpackDispatch {
+#ifdef NGSX_SEQCODEC_X86
+    // Honor the NGSX_SIMD env cap through the scan-kernel level: a cap of
+    // scalar/swar disables the vector decode too.
+    int level = static_cast<int>(simd::active_level());
+    if (level >= static_cast<int>(simd::Level::kAvx2) &&
+        __builtin_cpu_supports("avx2")) {
+      return {&unpack_bulk_avx2, "avx2"};
+    }
+    if (level >= static_cast<int>(simd::Level::kSse2) &&
+        __builtin_cpu_supports("ssse3")) {
+      return {&unpack_bulk_ssse3, "ssse3"};
+    }
+#endif
+    return {&unpack_bulk_scalar, "scalar"};
+  }();
+  return d;
+}
+
+}  // namespace
+
+void unpack_bulk(const char* packed, size_t full, char* dst) {
+  unpack_dispatch().fn(packed, full, dst);
+}
+
+const char* unpack_kernel_name() { return unpack_dispatch().name; }
+
+}  // namespace ngsx::seqcodec::detail

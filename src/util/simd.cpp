@@ -1,0 +1,573 @@
+#include "util/simd.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if !defined(NGSX_SCALAR_ONLY) && (defined(__x86_64__) || defined(__i386__))
+#define NGSX_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+#if !defined(NGSX_SCALAR_ONLY) && defined(__aarch64__) && \
+    defined(__ARM_FEATURE_CRC32)
+#define NGSX_SIMD_ARM_CRC 1
+#include <arm_acle.h>
+#endif
+
+namespace ngsx::simd {
+
+namespace {
+
+constexpr uint64_t kOnes = 0x0101010101010101ull;
+constexpr uint64_t kHighs = 0x8080808080808080ull;
+
+/// SWAR "has zero byte" mask: bit 7 of each byte that was 0x00 in `x`.
+inline uint64_t zero_bytes(uint64_t x) { return (x - kOnes) & ~x & kHighs; }
+
+inline uint64_t load_u64(const char* p) {
+  uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+/// Index (0-7) of the lowest matching byte in a zero_bytes() mask.
+inline size_t lowest_match(uint64_t mask) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return static_cast<size_t>(std::countr_zero(mask)) >> 3;
+  } else {
+    return static_cast<size_t>(std::countl_zero(mask)) >> 3;
+  }
+}
+
+/// Index (0-7) of the highest matching byte in a zero_bytes() mask.
+inline size_t highest_match(uint64_t mask) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return 7 - (static_cast<size_t>(std::countl_zero(mask)) >> 3);
+  } else {
+    return 7 - (static_cast<size_t>(std::countr_zero(mask)) >> 3);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ scalar
+
+size_t find_byte_scalar(const char* data, size_t n, char c) {
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] == c) {
+      return i;
+    }
+  }
+  return n;
+}
+
+size_t find_byte2_scalar(const char* data, size_t n, char a, char b) {
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] == a || data[i] == b) {
+      return i;
+    }
+  }
+  return n;
+}
+
+size_t rfind_byte_scalar(const char* data, size_t n, char c) {
+  for (size_t i = n; i > 0; --i) {
+    if (data[i - 1] == c) {
+      return i - 1;
+    }
+  }
+  return kNpos;
+}
+
+// -------------------------------------------------------------------- SWAR
+
+size_t find_byte_swar(const char* data, size_t n, char c) {
+  const uint64_t pat = kOnes * static_cast<uint8_t>(c);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t mask = zero_bytes(load_u64(data + i) ^ pat);
+    if (mask != 0) {
+      return i + lowest_match(mask);
+    }
+  }
+  for (; i < n; ++i) {
+    if (data[i] == c) {
+      return i;
+    }
+  }
+  return n;
+}
+
+size_t find_byte2_swar(const char* data, size_t n, char a, char b) {
+  const uint64_t pat_a = kOnes * static_cast<uint8_t>(a);
+  const uint64_t pat_b = kOnes * static_cast<uint8_t>(b);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w = load_u64(data + i);
+    uint64_t mask = zero_bytes(w ^ pat_a) | zero_bytes(w ^ pat_b);
+    if (mask != 0) {
+      return i + lowest_match(mask);
+    }
+  }
+  for (; i < n; ++i) {
+    if (data[i] == a || data[i] == b) {
+      return i;
+    }
+  }
+  return n;
+}
+
+size_t rfind_byte_swar(const char* data, size_t n, char c) {
+  const uint64_t pat = kOnes * static_cast<uint8_t>(c);
+  size_t i = n;
+  while (i % 8 != 0 && i > 0) {
+    if (data[i - 1] == c) {
+      return i - 1;
+    }
+    --i;
+  }
+  while (i >= 8) {
+    i -= 8;
+    uint64_t mask = zero_bytes(load_u64(data + i) ^ pat);
+    if (mask != 0) {
+      return i + highest_match(mask);
+    }
+  }
+  return kNpos;
+}
+
+// -------------------------------------------------------------- x86 kernels
+
+#ifdef NGSX_SIMD_X86
+
+namespace {
+
+size_t find_byte_sse2(const char* data, size_t n, char c) {
+  const __m128i pat = _mm_set1_epi8(c);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    unsigned mask =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(v, pat)));
+    if (mask != 0) {
+      return i + static_cast<size_t>(std::countr_zero(mask));
+    }
+  }
+  return i + find_byte_swar(data + i, n - i, c);
+}
+
+size_t find_byte2_sse2(const char* data, size_t n, char a, char b) {
+  const __m128i pat_a = _mm_set1_epi8(a);
+  const __m128i pat_b = _mm_set1_epi8(b);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    __m128i eq = _mm_or_si128(_mm_cmpeq_epi8(v, pat_a),
+                              _mm_cmpeq_epi8(v, pat_b));
+    unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(eq));
+    if (mask != 0) {
+      return i + static_cast<size_t>(std::countr_zero(mask));
+    }
+  }
+  return i + find_byte2_swar(data + i, n - i, a, b);
+}
+
+size_t rfind_byte_sse2(const char* data, size_t n, char c) {
+  const __m128i pat = _mm_set1_epi8(c);
+  size_t i = n;
+  while (i % 16 != 0 && i > 0) {
+    if (data[i - 1] == c) {
+      return i - 1;
+    }
+    --i;
+  }
+  while (i >= 16) {
+    i -= 16;
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    unsigned mask =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(v, pat)));
+    if (mask != 0) {
+      return i + (31 - static_cast<size_t>(std::countl_zero(mask)));
+    }
+  }
+  return kNpos;
+}
+
+__attribute__((target("avx2")))
+size_t find_byte_avx2(const char* data, size_t n, char c) {
+  const __m256i pat = _mm256_set1_epi8(c);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, pat)));
+    if (mask != 0) {
+      return i + static_cast<size_t>(std::countr_zero(mask));
+    }
+  }
+  return i + find_byte_sse2(data + i, n - i, c);
+}
+
+__attribute__((target("avx2")))
+size_t find_byte2_avx2(const char* data, size_t n, char a, char b) {
+  const __m256i pat_a = _mm256_set1_epi8(a);
+  const __m256i pat_b = _mm256_set1_epi8(b);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    __m256i eq = _mm256_or_si256(_mm256_cmpeq_epi8(v, pat_a),
+                                 _mm256_cmpeq_epi8(v, pat_b));
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(eq));
+    if (mask != 0) {
+      return i + static_cast<size_t>(std::countr_zero(mask));
+    }
+  }
+  return i + find_byte2_sse2(data + i, n - i, a, b);
+}
+
+__attribute__((target("avx2")))
+size_t rfind_byte_avx2(const char* data, size_t n, char c) {
+  const __m256i pat = _mm256_set1_epi8(c);
+  size_t i = n;
+  while (i % 32 != 0 && i > 0) {
+    if (data[i - 1] == c) {
+      return i - 1;
+    }
+    --i;
+  }
+  while (i >= 32) {
+    i -= 32;
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, pat)));
+    if (mask != 0) {
+      return i + (31 - static_cast<size_t>(std::countl_zero(mask)));
+    }
+  }
+  return kNpos;
+}
+
+}  // namespace
+
+#endif  // NGSX_SIMD_X86
+
+// ---------------------------------------------------------------- dispatch
+
+namespace {
+
+struct Dispatch {
+  Level level;
+  size_t (*find_byte)(const char*, size_t, char);
+  size_t (*find_byte2)(const char*, size_t, char, char);
+  size_t (*rfind_byte)(const char*, size_t, char);
+};
+
+Level env_cap() {
+  const char* env = std::getenv("NGSX_SIMD");
+  if (env == nullptr) {
+    return Level::kAvx2;
+  }
+  std::string_view v(env);
+  if (v == "scalar") return Level::kScalar;
+  if (v == "swar") return Level::kSwar;
+  if (v == "sse2") return Level::kSse2;
+  return Level::kAvx2;  // "avx2", "auto", or anything else: no cap
+}
+
+Dispatch make_dispatch() {
+  Level cap = env_cap();
+#ifdef NGSX_SCALAR_ONLY
+  cap = Level::kScalar;
+#endif
+  Level level = Level::kSwar;  // portable default
+#ifdef NGSX_SIMD_X86
+  level = Level::kSse2;  // x86-64 baseline
+  if (__builtin_cpu_supports("avx2")) {
+    level = Level::kAvx2;
+  }
+#endif
+  if (static_cast<int>(cap) < static_cast<int>(level)) {
+    level = cap;
+  }
+  switch (level) {
+    case Level::kScalar:
+      return {level, &find_byte_scalar, &find_byte2_scalar,
+              &rfind_byte_scalar};
+    case Level::kSwar:
+      return {level, &find_byte_swar, &find_byte2_swar, &rfind_byte_swar};
+#ifdef NGSX_SIMD_X86
+    case Level::kSse2:
+      return {level, &find_byte_sse2, &find_byte2_sse2, &rfind_byte_sse2};
+    case Level::kAvx2:
+      return {level, &find_byte_avx2, &find_byte2_avx2, &rfind_byte_avx2};
+#endif
+    default:
+      return {Level::kSwar, &find_byte_swar, &find_byte2_swar,
+              &rfind_byte_swar};
+  }
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = make_dispatch();
+  return d;
+}
+
+}  // namespace
+
+Level active_level() { return dispatch().level; }
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSwar: return "swar";
+    case Level::kSse2: return "sse2";
+    case Level::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+size_t find_byte(const char* data, size_t n, char c) {
+  return dispatch().find_byte(data, n, c);
+}
+
+size_t find_byte2(const char* data, size_t n, char a, char b) {
+  return dispatch().find_byte2(data, n, a, b);
+}
+
+size_t rfind_byte(const char* data, size_t n, char c) {
+  return dispatch().rfind_byte(data, n, c);
+}
+
+// ------------------------------------------------------------------- CRC32
+//
+// Raw-state helpers below work on the CRC register without the standard
+// pre/post inversion, so the slice-by-8 tail and the PCLMUL bulk kernel
+// compose; the public entry points apply ~crc at the edges, matching
+// zlib's crc32() exactly.
+
+namespace {
+
+struct Crc32Tables {
+  uint32_t t[8][256];
+};
+
+const Crc32Tables& crc_tables() {
+  static const Crc32Tables tables = [] {
+    Crc32Tables tb;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1) + 1));
+      }
+      tb.t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t prev = tb.t[k - 1][i];
+        tb.t[k][i] = (prev >> 8) ^ tb.t[0][prev & 0xFF];
+      }
+    }
+    return tb;
+  }();
+  return tables;
+}
+
+/// Slice-by-8 on the raw (uninverted) CRC register.
+uint32_t crc32_slice8_raw(uint32_t crc, const unsigned char* p, size_t n) {
+  const auto& t = crc_tables().t;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      uint32_t lo;
+      uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= crc;
+      crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+            t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^ t[3][hi & 0xFF] ^
+            t[2][(hi >> 8) & 0xFF] ^ t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n-- != 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  }
+  return crc;
+}
+
+#ifdef NGSX_SIMD_X86
+
+/// PCLMULQDQ folding kernel for the gzip polynomial, after the scheme in
+/// Gopal et al., "Fast CRC Computation for Generic Polynomials Using
+/// PCLMULQDQ Instruction" (the layout zlib and chromium ship). Operates on
+/// the raw CRC register; requires n >= 64 and n % 16 == 0.
+__attribute__((target("sse4.1,pclmul")))
+uint32_t crc32_pclmul_raw(uint32_t crc, const unsigned char* buf, size_t n) {
+  // _mm_set_epi64x takes (high, low): k1/k3/P' sit in the low qword
+  // (clmul selector 0x00), k2/k4/mu in the high qword (0x11 / 0x10).
+  const __m128i k1k2 = _mm_set_epi64x(0x01c6e41596, 0x0154442bd4);
+  const __m128i k3k4 = _mm_set_epi64x(0x00ccaa009e, 0x01751997d0);
+  const __m128i k5 = _mm_set_epi64x(0, 0x0163cd6124);
+  const __m128i poly = _mm_set_epi64x(0x01f7011641, 0x01db710641);
+
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  __m128i x0 = k1k2;
+  buf += 64;
+  n -= 64;
+
+  while (n >= 64) {
+    __m128i x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    __m128i x6 = _mm_clmulepi64_si128(x2, x0, 0x00);
+    __m128i x7 = _mm_clmulepi64_si128(x3, x0, 0x00);
+    __m128i x8 = _mm_clmulepi64_si128(x4, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, x0, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, x0, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, x0, 0x11);
+    x1 = _mm_xor_si128(
+        x1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf)));
+    x2 = _mm_xor_si128(
+        x2, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16)));
+    x3 = _mm_xor_si128(
+        x3, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32)));
+    x4 = _mm_xor_si128(
+        x4, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48)));
+    x1 = _mm_xor_si128(x1, x5);
+    x2 = _mm_xor_si128(x2, x6);
+    x3 = _mm_xor_si128(x3, x7);
+    x4 = _mm_xor_si128(x4, x8);
+    buf += 64;
+    n -= 64;
+  }
+
+  // Fold the four 128-bit accumulators into one.
+  x0 = k3k4;
+  __m128i x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), x5);
+
+  while (n >= 16) {
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x1 = _mm_xor_si128(
+        x1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf)));
+    x1 = _mm_xor_si128(x1, x5);
+    buf += 16;
+    n -= 16;
+  }
+
+  // Fold 128 -> 64 bits.
+  __m128i xm = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+  __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, xm);
+
+  xm = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+  x1 = _mm_xor_si128(x1, xm);
+
+  // Barrett reduction to 32 bits.
+  xm = _mm_and_si128(x1, mask32);
+  xm = _mm_clmulepi64_si128(xm, poly, 0x10);
+  xm = _mm_and_si128(xm, mask32);
+  xm = _mm_clmulepi64_si128(xm, poly, 0x00);
+  x1 = _mm_xor_si128(x1, xm);
+  return static_cast<uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+uint32_t crc32_pclmul(uint32_t crc, const unsigned char* p, size_t n) {
+  crc = ~crc;
+  if (n >= 64) {
+    size_t bulk = n & ~static_cast<size_t>(15);
+    crc = crc32_pclmul_raw(crc, p, bulk);
+    p += bulk;
+    n -= bulk;
+  }
+  crc = crc32_slice8_raw(crc, p, n);
+  return ~crc;
+}
+
+#endif  // NGSX_SIMD_X86
+
+#ifdef NGSX_SIMD_ARM_CRC
+
+uint32_t crc32_armv8(uint32_t crc, const unsigned char* p, size_t n) {
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    crc = __crc32d(crc, w);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) {
+    crc = __crc32b(crc, *p++);
+  }
+  return ~crc;
+}
+
+#endif  // NGSX_SIMD_ARM_CRC
+
+using CrcFn = uint32_t (*)(uint32_t, const unsigned char*, size_t);
+
+uint32_t crc32_slice8(uint32_t crc, const unsigned char* p, size_t n) {
+  return ~crc32_slice8_raw(~crc, p, n);
+}
+
+struct CrcDispatch {
+  CrcFn fn;
+  const char* name;
+};
+
+const CrcDispatch& crc_dispatch() {
+  static const CrcDispatch d = []() -> CrcDispatch {
+#ifndef NGSX_SCALAR_ONLY
+    const char* env = std::getenv("NGSX_SIMD");
+    [[maybe_unused]] bool scalar_forced =
+        env != nullptr && std::string_view(env) == "scalar";
+#ifdef NGSX_SIMD_X86
+    if (!scalar_forced && __builtin_cpu_supports("pclmul") &&
+        __builtin_cpu_supports("sse4.1")) {
+      return {&crc32_pclmul, "pclmul"};
+    }
+#endif
+#ifdef NGSX_SIMD_ARM_CRC
+    if (!scalar_forced) {
+      return {&crc32_armv8, "armv8-crc"};
+    }
+#endif
+#endif  // !NGSX_SCALAR_ONLY
+    return {&crc32_slice8, "slice8"};
+  }();
+  return d;
+}
+
+}  // namespace
+
+const char* crc32_impl_name() { return crc_dispatch().name; }
+
+uint32_t crc32_ieee(uint32_t crc, const void* data, size_t n) {
+  return crc_dispatch().fn(crc, static_cast<const unsigned char*>(data), n);
+}
+
+uint32_t crc32_ieee_scalar(uint32_t crc, const void* data, size_t n) {
+  return crc32_slice8(crc, static_cast<const unsigned char*>(data), n);
+}
+
+}  // namespace ngsx::simd

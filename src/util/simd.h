@@ -1,0 +1,86 @@
+// ngsx/util/simd.h
+//
+// Vectorized byte-level kernels for the hot paths the paper identifies as
+// the sequential bottleneck: record framing (newline scan), field
+// tokenization (tab scan), and BGZF block checksums. Every kernel has a
+// portable scalar implementation that is always compiled and tested; the
+// dispatched entry points pick the widest implementation the running CPU
+// supports (SWAR -> SSE2 -> AVX2 on x86-64, SWAR elsewhere), selected once
+// at startup.
+//
+// Contract: for any input, every implementation of a kernel returns
+// byte-identical results to the scalar reference. tests/simd_test.cpp
+// enforces this across adversarial alignments; bench/bench_codec.cpp
+// tracks the throughput gap.
+//
+// Overrides:
+//   - Build with -DNGSX_SIMD=OFF (CMake) to compile only the scalar
+//     fallbacks (defines NGSX_SCALAR_ONLY).
+//   - Set NGSX_SIMD=scalar|swar|sse2|avx2 in the environment to cap the
+//     dispatch level at runtime without rebuilding (useful for A/B runs;
+//     levels above what the CPU supports fall back to the widest safe one).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ngsx::simd {
+
+/// Dispatch level for the byte-scan kernels, in increasing width.
+enum class Level : int {
+  kScalar = 0,  // one byte per iteration
+  kSwar = 1,    // 8 bytes per iteration via uint64 bit tricks
+  kSse2 = 2,    // 16 bytes per iteration (x86-64 baseline)
+  kAvx2 = 3,    // 32 bytes per iteration
+};
+
+/// The level the dispatched kernels actually run at on this machine
+/// (after the NGSX_SCALAR_ONLY build gate and the NGSX_SIMD env cap).
+Level active_level();
+
+/// Human-readable name of a level ("scalar", "swar", "sse2", "avx2").
+const char* level_name(Level level);
+
+/// CRC32 implementation the dispatched crc32_ieee() uses on this machine:
+/// "slice8", "pclmul", or "armv8-crc".
+const char* crc32_impl_name();
+
+/// Returned by rfind_byte when the byte is absent.
+inline constexpr size_t kNpos = static_cast<size_t>(-1);
+
+// ---------------------------------------------------------- dispatched API
+//
+// find_byte / find_byte2 return the index of the first match in
+// [data, data+n), or n when absent (so `pos == n` is the natural "not
+// found" test and `data + find_byte(...)` never leaves the buffer).
+// rfind_byte returns the index of the last match, or kNpos when absent.
+
+size_t find_byte(const char* data, size_t n, char c);
+size_t find_byte2(const char* data, size_t n, char a, char b);
+size_t rfind_byte(const char* data, size_t n, char c);
+
+/// CRC-32 (gzip/ITU-T V.42 polynomial 0xEDB88320, reflected) with zlib
+/// semantics: crc32_ieee(0, ...) of a buffer equals zlib's
+/// crc32(crc32(0, Z_NULL, 0), ...), and calls chain incrementally.
+uint32_t crc32_ieee(uint32_t crc, const void* data, size_t n);
+
+// ------------------------------------------------- scalar reference paths
+//
+// Always compiled, on every platform. These are the byte-identity oracles
+// for the tests and the baselines bench_codec measures speedups against.
+
+size_t find_byte_scalar(const char* data, size_t n, char c);
+size_t find_byte2_scalar(const char* data, size_t n, char a, char b);
+size_t rfind_byte_scalar(const char* data, size_t n, char c);
+
+/// Portable slice-by-8 CRC32 (the scalar fallback behind crc32_ieee).
+uint32_t crc32_ieee_scalar(uint32_t crc, const void* data, size_t n);
+
+// ------------------------------------------------------- SWAR (portable)
+
+size_t find_byte_swar(const char* data, size_t n, char c);
+size_t find_byte2_swar(const char* data, size_t n, char a, char b);
+size_t rfind_byte_swar(const char* data, size_t n, char c);
+
+}  // namespace ngsx::simd

@@ -4,15 +4,22 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/simd.h"
+
 namespace ngsx::strutil {
 
 void split(std::string_view line, char sep,
            std::vector<std::string_view>& out) {
   out.clear();
+  // simd::find_byte returns the remaining length when the separator is
+  // absent, so `pos == line.size()` doubles as the npos check. The SWAR /
+  // SSE2 / AVX2 kernel is what makes tab tokenization of wide SAM lines
+  // cheap (bench/bench_codec.cpp tracks the gap vs the scalar loop).
   size_t start = 0;
   while (true) {
-    size_t pos = line.find(sep, start);
-    if (pos == std::string_view::npos) {
+    size_t pos = start + simd::find_byte(line.data() + start,
+                                         line.size() - start, sep);
+    if (pos == line.size()) {
       out.push_back(line.substr(start));
       return;
     }

@@ -76,5 +76,75 @@ TEST(SeqCodec, UnpackReplacesOutput) {
   EXPECT_EQ(out, "GG");
 }
 
+TEST(SeqCodec, VectorUnpackMatchesScalarAcrossLengthsAndAlignments) {
+  // Byte-identity of the dispatched pshufb kernel vs the scalar oracle,
+  // sweeping lengths around the 16/32-packed-byte vector steps (l_seq
+  // 32/64 bases) and misaligned packed-buffer starts.
+  Rng rng(17);
+  std::string packed_storage(600 + 32, '\0');
+  for (char& c : packed_storage) {
+    c = static_cast<char>(rng.below(256));
+  }
+  for (size_t l_seq = 0; l_seq <= 300; ++l_seq) {
+    for (size_t off : {0u, 1u, 3u, 17u}) {
+      const char* packed = packed_storage.data() + off;
+      std::string fast;
+      std::string slow;
+      unpack_seq(packed, l_seq, fast);
+      unpack_seq_scalar(packed, l_seq, slow);
+      ASSERT_EQ(fast, slow) << "l_seq " << l_seq << " off " << off
+                            << " kernel " << detail::unpack_kernel_name();
+    }
+  }
+}
+
+TEST(SeqCodec, OddLengthRoundTripsAllLengths) {
+  // Odd l_seq exercises the half-byte tail after the bulk kernel; make
+  // sure the tail nibble never reads the low half of the last byte.
+  Rng rng(23);
+  for (size_t len = 1; len <= 129; len += 2) {
+    std::string seq;
+    for (size_t i = 0; i < len; ++i) {
+      seq += kNibbles[rng.below(16)];
+    }
+    std::string packed;
+    pack_seq(seq, packed);
+    ASSERT_EQ(packed.size(), (len + 1) / 2);
+    // Low nibble of the final byte must be zero ('=') padding.
+    EXPECT_EQ(static_cast<uint8_t>(packed.back()) & 0xF, 0) << len;
+    std::string back;
+    unpack_seq(packed.data(), len, back);
+    EXPECT_EQ(back, seq) << len;
+    std::string back_scalar;
+    unpack_seq_scalar(packed.data(), len, back_scalar);
+    EXPECT_EQ(back_scalar, seq) << len;
+  }
+}
+
+TEST(SeqCodec, BulkUnpackOnLongSequences) {
+  // BAM-realistic long reads: 8 KB of packed bases through the bulk path.
+  Rng rng(31);
+  std::string seq;
+  for (size_t i = 0; i < 16000; ++i) {
+    seq += kNibbles[rng.below(16)];
+  }
+  std::string packed;
+  pack_seq(seq, packed);
+  std::string fast;
+  unpack_seq(packed.data(), seq.size(), fast);
+  std::string slow;
+  unpack_seq_scalar(packed.data(), seq.size(), slow);
+  EXPECT_EQ(fast, seq);
+  EXPECT_EQ(slow, seq);
+}
+
+TEST(SeqCodec, KernelNameIsKnown) {
+  std::string name = detail::unpack_kernel_name();
+  EXPECT_TRUE(name == "scalar" || name == "ssse3" || name == "avx2") << name;
+#ifdef NGSX_SCALAR_ONLY
+  EXPECT_EQ(name, "scalar");
+#endif
+}
+
 }  // namespace
 }  // namespace ngsx::seqcodec

@@ -1,0 +1,248 @@
+// Byte-identity tests for the vectorized byte-scan kernels (util/simd.h).
+// Every dispatched and named implementation must agree with the scalar
+// reference on every input; the cases below concentrate on the places
+// wide kernels go wrong: matches straddling the 8/16/32-byte step
+// boundary, unaligned buffer starts, tails shorter than one vector, and
+// empty inputs.
+
+#include <gtest/gtest.h>
+#include <zlib.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/simd.h"
+#include "util/strutil.h"
+
+namespace ngsx::simd {
+namespace {
+
+// Runs `check` for a grid of (length, alignment offset) pairs over a
+// randomized haystack that never contains the probe bytes, so tests can
+// plant matches at exact positions.
+template <typename Fn>
+void for_each_case(Fn check) {
+  Rng rng(20240809);
+  // 15/16/17 and 31/32/33 bracket the SSE2 and AVX2 step widths; 7/8/9
+  // bracket the SWAR word. 130 exercises multi-step loops plus tail.
+  const size_t lengths[] = {0,  1,  2,  3,  7,  8,  9,  15, 16, 17,
+                            23, 31, 32, 33, 63, 64, 65, 96, 129, 130};
+  for (size_t len : lengths) {
+    for (size_t off = 0; off <= 17; ++off) {
+      std::string storage(off + len + 64, '\0');
+      for (char& c : storage) {
+        c = static_cast<char>('a' + rng.below(16));  // never '\t' or '\n'
+      }
+      check(storage.data() + off, len, rng);
+    }
+  }
+}
+
+TEST(SimdFindByte, AllImplsMatchScalarOnAdversarialAlignments) {
+  for_each_case([](char* data, size_t n, Rng& rng) {
+    // Absent probe.
+    EXPECT_EQ(find_byte(data, n, '\t'), find_byte_scalar(data, n, '\t'));
+    EXPECT_EQ(find_byte_swar(data, n, '\t'),
+              find_byte_scalar(data, n, '\t'));
+    EXPECT_EQ(find_byte_scalar(data, n, '\t'), n);
+    // Probe planted at every position (first/last/step-straddling all
+    // covered because n itself sweeps the step widths).
+    for (size_t at = 0; at < n; ++at) {
+      char saved = data[at];
+      data[at] = '\t';
+      size_t want = find_byte_scalar(data, n, '\t');
+      EXPECT_EQ(want, at);
+      EXPECT_EQ(find_byte(data, n, '\t'), want);
+      EXPECT_EQ(find_byte_swar(data, n, '\t'), want);
+      data[at] = saved;
+    }
+    // Duplicate probes: first match wins.
+    if (n >= 2) {
+      size_t a = rng.below(n);
+      size_t b = rng.below(n);
+      char sa = data[a];
+      char sb = data[b];
+      data[a] = '\t';
+      data[b] = '\t';
+      size_t want = find_byte_scalar(data, n, '\t');
+      EXPECT_EQ(want, std::min(a, b));
+      EXPECT_EQ(find_byte(data, n, '\t'), want);
+      EXPECT_EQ(find_byte_swar(data, n, '\t'), want);
+      data[a] = sa;
+      data[b] = sb;
+    }
+  });
+}
+
+TEST(SimdFindByte2, AllImplsMatchScalar) {
+  for_each_case([](char* data, size_t n, Rng& rng) {
+    EXPECT_EQ(find_byte2(data, n, '\t', '\n'),
+              find_byte2_scalar(data, n, '\t', '\n'));
+    for (size_t at = 0; at < n; ++at) {
+      char saved = data[at];
+      data[at] = rng.below(2) == 0 ? '\t' : '\n';
+      size_t want = find_byte2_scalar(data, n, '\t', '\n');
+      EXPECT_EQ(want, at);
+      EXPECT_EQ(find_byte2(data, n, '\t', '\n'), want);
+      EXPECT_EQ(find_byte2_swar(data, n, '\t', '\n'), want);
+      data[at] = saved;
+    }
+    // Both probe bytes present: earliest of the two wins.
+    if (n >= 2) {
+      char s0 = data[n / 2];
+      char s1 = data[n - 1];
+      data[n / 2] = '\n';
+      data[n - 1] = '\t';
+      size_t want = find_byte2_scalar(data, n, '\t', '\n');
+      EXPECT_EQ(want, n / 2);
+      EXPECT_EQ(find_byte2(data, n, '\t', '\n'), want);
+      EXPECT_EQ(find_byte2_swar(data, n, '\t', '\n'), want);
+      data[n / 2] = s0;
+      data[n - 1] = s1;
+    }
+  });
+}
+
+TEST(SimdRfindByte, AllImplsMatchScalar) {
+  for_each_case([](char* data, size_t n, Rng& rng) {
+    EXPECT_EQ(rfind_byte(data, n, '\n'), rfind_byte_scalar(data, n, '\n'));
+    EXPECT_EQ(rfind_byte_scalar(data, n, '\n'), kNpos);
+    for (size_t at = 0; at < n; ++at) {
+      char saved = data[at];
+      data[at] = '\n';
+      size_t want = rfind_byte_scalar(data, n, '\n');
+      EXPECT_EQ(want, at);
+      EXPECT_EQ(rfind_byte(data, n, '\n'), want);
+      EXPECT_EQ(rfind_byte_swar(data, n, '\n'), want);
+      data[at] = saved;
+    }
+    // Duplicate probes: last match wins.
+    if (n >= 2) {
+      size_t a = rng.below(n);
+      size_t b = rng.below(n);
+      char sa = data[a];
+      char sb = data[b];
+      data[a] = '\n';
+      data[b] = '\n';
+      size_t want = rfind_byte_scalar(data, n, '\n');
+      EXPECT_EQ(want, std::max(a, b));
+      EXPECT_EQ(rfind_byte(data, n, '\n'), want);
+      EXPECT_EQ(rfind_byte_swar(data, n, '\n'), want);
+      data[a] = sa;
+      data[b] = sb;
+    }
+  });
+}
+
+TEST(SimdFindByte, HighBitBytesDoNotFalsePositive) {
+  // The SWAR zero-byte trick is the classic place 0x80..0xFF bytes leak
+  // through as phantom matches.
+  std::string data(64, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(0x80 + (i % 0x7F));
+  }
+  EXPECT_EQ(find_byte(data.data(), data.size(), '\t'), data.size());
+  EXPECT_EQ(find_byte_swar(data.data(), data.size(), '\t'), data.size());
+  EXPECT_EQ(rfind_byte(data.data(), data.size(), '\t'), kNpos);
+  // And searching *for* a high byte works.
+  data[37] = static_cast<char>(0xFF);
+  EXPECT_EQ(find_byte(data.data(), data.size(), static_cast<char>(0xFF)),
+            find_byte_scalar(data.data(), data.size(),
+                             static_cast<char>(0xFF)));
+}
+
+TEST(SimdSplit, TokenizesEmptyFieldsAndEdges) {
+  // strutil::split rides on find_byte; lock in its separator semantics.
+  using strutil::split;
+  std::vector<std::string_view> f;
+  split("", '\t', f);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "");
+  split("\t", '\t', f);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "");
+  split("a\t\tb\t", '\t', f);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[2], "b");
+  EXPECT_EQ(f[3], "");
+  // A realistic SAM line (no trailing newline) splits into 12 fields.
+  std::string line =
+      "read1\t99\tchr1\t1000\t60\t50M\t=\t1200\t250\tACGT\tIIII\tNM:i:0";
+  split(line, '\t', f);
+  ASSERT_EQ(f.size(), 12u);
+  EXPECT_EQ(f[0], "read1");
+  EXPECT_EQ(f[11], "NM:i:0");
+}
+
+TEST(SimdCrc32, MatchesZlibAcrossLengthsAndAlignments) {
+  Rng rng(7);
+  std::string buf(4096 + 32, '\0');
+  for (char& c : buf) {
+    c = static_cast<char>(rng.below(256));
+  }
+  const size_t lengths[] = {0,  1,   7,   8,   15,  16,   17,  63,
+                            64, 65,  127, 255, 256, 1024, 4000};
+  for (size_t len : lengths) {
+    for (size_t off = 0; off <= 17; ++off) {
+      const char* p = buf.data() + off;
+      uint32_t want = static_cast<uint32_t>(
+          ::crc32(::crc32(0L, Z_NULL, 0),
+                  reinterpret_cast<const Bytef*>(p),
+                  static_cast<uInt>(len)));
+      EXPECT_EQ(crc32_ieee(0, p, len), want) << "len " << len << " off "
+                                             << off;
+      EXPECT_EQ(crc32_ieee_scalar(0, p, len), want);
+    }
+  }
+}
+
+TEST(SimdCrc32, ChainsIncrementallyLikeZlib) {
+  Rng rng(11);
+  std::string buf(100000, '\0');
+  for (char& c : buf) {
+    c = static_cast<char>(rng.below(256));
+  }
+  uint32_t whole = crc32_ieee(0, buf.data(), buf.size());
+  uint32_t zwhole = static_cast<uint32_t>(
+      ::crc32(::crc32(0L, Z_NULL, 0),
+              reinterpret_cast<const Bytef*>(buf.data()),
+              static_cast<uInt>(buf.size())));
+  EXPECT_EQ(whole, zwhole);
+  // Split at awkward points, including mid-vector.
+  for (size_t cut : {1ul, 17ul, 63ul, 64ul, 65ul, 4099ul, 99999ul}) {
+    uint32_t a = crc32_ieee(0, buf.data(), cut);
+    uint32_t b = crc32_ieee(a, buf.data() + cut, buf.size() - cut);
+    EXPECT_EQ(b, whole) << "cut " << cut;
+    uint32_t sa = crc32_ieee_scalar(0, buf.data(), cut);
+    uint32_t sb =
+        crc32_ieee_scalar(sa, buf.data() + cut, buf.size() - cut);
+    EXPECT_EQ(sb, whole) << "cut " << cut;
+  }
+}
+
+TEST(SimdDispatch, LevelAndNamesAreCoherent) {
+  Level level = active_level();
+  EXPECT_GE(static_cast<int>(level), static_cast<int>(Level::kScalar));
+  EXPECT_LE(static_cast<int>(level), static_cast<int>(Level::kAvx2));
+  EXPECT_STREQ(level_name(Level::kScalar), "scalar");
+  EXPECT_STREQ(level_name(Level::kSwar), "swar");
+  EXPECT_STREQ(level_name(Level::kSse2), "sse2");
+  EXPECT_STREQ(level_name(Level::kAvx2), "avx2");
+  const char* crc = crc32_impl_name();
+  EXPECT_TRUE(std::strcmp(crc, "slice8") == 0 ||
+              std::strcmp(crc, "pclmul") == 0 ||
+              std::strcmp(crc, "armv8-crc") == 0)
+      << crc;
+#ifdef NGSX_SCALAR_ONLY
+  EXPECT_EQ(level, Level::kScalar);
+  EXPECT_STREQ(crc32_impl_name(), "slice8");
+#endif
+}
+
+}  // namespace
+}  // namespace ngsx::simd
