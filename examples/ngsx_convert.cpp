@@ -30,6 +30,7 @@
 
 #include "core/convert.h"
 #include "exec/pool.h"
+#include "mpi/minimpi.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/metrics_flush.h"
@@ -117,6 +118,13 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
+  // Under ngsx_mpirun every rank executes this main(); the mpi-parallel
+  // conversion stages coordinate through run(), but anything
+  // single-process — preprocessing, stdout/stderr reporting, metrics and
+  // trace files — belongs to rank 0 alone (docs/DISTRIBUTED.md
+  // "Launched worlds").
+  const bool primary = !mpi::launched() || mpi::launched_rank() == 0;
+
   try {
     // Metrics power the stage summary, so they are always on; tracing is
     // opt-in (it buffers every span until exit).
@@ -142,15 +150,23 @@ int main(int argc, char** argv) {
       if (metrics_path.empty()) {
         throw UsageError("--metrics-interval requires --metrics FILE");
       }
-      flusher = std::make_unique<serve::MetricsFlusher>(
-          metrics_path, std::chrono::milliseconds(metrics_interval * 1000));
+      if (primary) {
+        flusher = std::make_unique<serve::MetricsFlusher>(
+            metrics_path,
+            std::chrono::milliseconds(metrics_interval * 1000));
+      }
     }
 
     core::ConvertOptions options;
     options.format = core::parse_target_format(to);
     const int auto_width = exec::hardware_threads();
-    options.ranks = resolve_width("ranks", args.get_int("ranks", 4),
-                                  auto_width);
+    // In a launched world the rank count is the world size, not a flag:
+    // mpi::run() requires them to match.
+    options.ranks =
+        mpi::launched()
+            ? resolve_width("ranks", args.get_int("ranks", 0),
+                            mpi::launched_size())
+            : resolve_width("ranks", args.get_int("ranks", 4), auto_width);
     options.schedule = core::parse_schedule(args.get("schedule", "static"));
     if (args.has("threads")) {
       // Absent: options.threads stays 0, meaning "pool width = ranks".
@@ -187,18 +203,35 @@ int main(int argc, char** argv) {
       std::filesystem::create_directories(out);
       std::string bamx;
       core::PreprocessStats pre;
-      if (preprocess_request == 1) {
-        bamx = out + "/input.bamx";
-        pre = core::preprocess_bam(in, bamx, baix, options.decode_threads);
+      const auto run_preprocess = [&] {
+        if (preprocess_request == 1) {
+          pre = core::preprocess_bam(in, bamx, baix, options.decode_threads);
+        } else {
+          core::PreprocessOptions popt;
+          popt.threads = static_cast<int>(preprocess_request);
+          popt.decode_threads = options.decode_threads;
+          pre = core::preprocess_bam_parallel(in, bamx, baix, popt);
+        }
+      };
+      bamx = preprocess_request == 1 ? out + "/input.bamx"
+                                     : out + "/input.bamxm";
+      if (mpi::launched()) {
+        // Preprocessing is a thread-pool stage, not an mpi-parallel one:
+        // rank 0 writes the BAMX/BAIX while the other ranks wait at the
+        // run() barrier, then everyone reads the published files.
+        mpi::run(options.ranks, [&](mpi::Comm& comm) {
+          if (comm.rank() == 0) {
+            run_preprocess();
+          }
+        });
       } else {
-        bamx = out + "/input.bamxm";
-        core::PreprocessOptions popt;
-        popt.threads = static_cast<int>(preprocess_request);
-        popt.decode_threads = options.decode_threads;
-        pre = core::preprocess_bam_parallel(in, bamx, baix, popt);
+        run_preprocess();
       }
-      std::fprintf(stderr, "preprocessed %llu records in %.2f s\n",
-                   static_cast<unsigned long long>(pre.records), pre.seconds);
+      if (primary) {
+        std::fprintf(stderr, "preprocessed %llu records in %.2f s\n",
+                     static_cast<unsigned long long>(pre.records),
+                     pre.seconds);
+      }
       std::optional<core::Region> region;
       if (!region_text.empty()) {
         auto probe = bamx::open_record_source(bamx);
@@ -208,7 +241,15 @@ int main(int argc, char** argv) {
         // Overlap semantics need interval ends — the start-keyed BAIX v1
         // cannot answer them, so build the v2 index and convert through it.
         const std::string baix2 = out + "/input.baix2";
-        core::build_baix2(bamx, baix2);
+        if (mpi::launched()) {
+          mpi::run(options.ranks, [&](mpi::Comm& comm) {
+            if (comm.rank() == 0) {
+              core::build_baix2(bamx, baix2);
+            }
+          });
+        } else {
+          core::build_baix2(bamx, baix2);
+        }
         stats = core::convert_bamx_filtered(bamx, baix2, out, options,
                                             *region,
                                             baix2::RegionMode::kOverlap);
@@ -223,12 +264,17 @@ int main(int argc, char** argv) {
                              " BAM input for partial conversion\n");
         return 2;
       }
-      const int m =
-          resolve_width("m", args.get_int("m", options.ranks), auto_width);
+      const int m = mpi::launched()
+                        ? options.ranks
+                        : resolve_width("m", args.get_int("m", options.ranks),
+                                        auto_width);
       auto pre = core::preprocess_sam_parallel(in, out + "/shards", m);
-      std::fprintf(stderr, "preprocessed %llu records (%d shards) in %.2f s\n",
-                   static_cast<unsigned long long>(pre.records), m,
-                   pre.seconds);
+      if (primary) {
+        std::fprintf(stderr,
+                     "preprocessed %llu records (%d shards) in %.2f s\n",
+                     static_cast<unsigned long long>(pre.records), m,
+                     pre.seconds);
+      }
       stats = core::convert_bamx_shards(pre.bamx_paths, out, options);
     } else {
       // Direct SAM converter (III-A).
@@ -240,21 +286,26 @@ int main(int argc, char** argv) {
     }
 
     const obs::Snapshot snap = obs::snapshot();
-    std::printf("converted %llu records -> %llu target objects in %.2f s\n",
-                static_cast<unsigned long long>(stats.records_in),
-                static_cast<unsigned long long>(stats.records_out),
-                stats.seconds);
-    print_stage_summary(snap);
-    std::printf("%.1f MB in, %.1f MB out, %zu part files under %s\n",
-                stats.bytes_in / 1e6, stats.bytes_out / 1e6,
-                stats.outputs.size(), out.c_str());
+    if (primary) {
+      std::printf("converted %llu records -> %llu target objects in %.2f s\n",
+                  static_cast<unsigned long long>(stats.records_in),
+                  static_cast<unsigned long long>(stats.records_out),
+                  stats.seconds);
+      print_stage_summary(snap);
+      std::printf("%.1f MB in, %.1f MB out, %zu part files under %s\n",
+                  stats.bytes_in / 1e6, stats.bytes_out / 1e6,
+                  stats.outputs.size(), out.c_str());
+    }
     if (flusher != nullptr) {
       flusher->stop();  // final periodic flush; stop racing the write below
     }
-    if (!metrics_path.empty()) {
+    // Metrics/trace files: rank 0's snapshot only — each rank of a
+    // launched world has its own counters, and concurrent writers to one
+    // path would corrupt it.
+    if (!metrics_path.empty() && primary) {
       write_file(metrics_path, obs::metrics_json(snap) + "\n");
     }
-    if (!trace_path.empty()) {
+    if (!trace_path.empty() && primary) {
       write_file(trace_path, obs::trace_json() + "\n");
       if (obs::trace_dropped_count() > 0) {
         std::fprintf(stderr,

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Intra-repo Markdown link checker (CI docs job).
 
-Scans every tracked .md file for inline Markdown links and verifies that
-relative targets exist on disk (anchors are stripped; external schemes
-are ignored). Exits non-zero listing every broken link.
+Scans every tracked .md file for inline Markdown links and verifies
+that relative targets exist on disk, and that `#fragment` anchors into
+Markdown targets (including same-file `#...` links) match a heading in
+the target document, using GitHub's heading-slug rules. External
+schemes are ignored. Exits non-zero listing every broken link.
 
 Usage: scripts/check_docs_links.py [repo_root]
 """
@@ -15,6 +17,7 @@ from pathlib import Path
 # Inline links [text](target); images ![alt](target) match too via the
 # same pattern. Reference-style links are rare in this repo and skipped.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 
 SKIP_DIRS = {".git", "build", "third_party", ".claude"}
 EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
@@ -27,25 +30,63 @@ def markdown_files(root: Path):
             yield path
 
 
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm: strip markup-ish punctuation, lowercase,
+    spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # [text](url)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        slugs = set()
+        counts = {}
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
 def check(root: Path) -> int:
     broken = []
     checked = 0
+    anchor_cache = {}
     for md in markdown_files(root):
         text = md.read_text(encoding="utf-8")
         for match in LINK_RE.finditer(text):
             target = match.group(1)
-            if target.startswith(EXTERNAL) or target.startswith("#"):
+            if target.startswith(EXTERNAL):
                 continue
-            rel = target.split("#", 1)[0]
-            if not rel:
+            rel, _, fragment = target.partition("#")
+            if not rel and not fragment:
                 continue
-            resolved = (root / rel) if rel.startswith("/") \
-                else (md.parent / rel)
+            resolved = md if not rel else \
+                (root / rel) if rel.startswith("/") else (md.parent / rel)
             checked += 1
+            line = text[: match.start()].count("\n") + 1
             if not resolved.exists():
-                line = text[: match.start()].count("\n") + 1
                 broken.append(f"{md.relative_to(root)}:{line}: "
                               f"broken link -> {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved, anchor_cache):
+                    broken.append(f"{md.relative_to(root)}:{line}: "
+                                  f"broken anchor -> {target}")
     for b in broken:
         print(b, file=sys.stderr)
     print(f"checked {checked} intra-repo links, {len(broken)} broken")

@@ -183,6 +183,33 @@ ConvertStats merge_stats(const std::vector<LocalStats>& locals) {
   return stats;
 }
 
+/// Publishes every rank's LocalStats into the captured `locals` vector so
+/// the post-run merge works on every transport. Under threads one writer
+/// (rank 0) fills the shared vector; under shm/tcp each process owns a
+/// private copy of `locals`, so every rank fills its own — which is what
+/// makes the function return correct totals on all ranks of a launched
+/// world.
+void publish_locals(mpi::Comm& comm, const LocalStats& local,
+                    std::vector<LocalStats>& locals) {
+  static_assert(std::is_trivially_copyable_v<LocalStats>);
+  const std::vector<LocalStats> all =
+      comm.allgather_values<LocalStats>(local);
+  if (comm.rank() == 0 || !mpi::ranks_share_address_space()) {
+    std::copy(all.begin(), all.end(), locals.begin());
+  }
+}
+
+/// The dynamic schedule is a single-process thread-pool path (no ranks);
+/// under ngsx_mpirun every launched rank would run the whole conversion
+/// and race on the part files.
+void check_schedule_not_launched() {
+  if (mpi::launched()) {
+    throw UsageError(
+        "--schedule dynamic runs a single-process pool and cannot execute "
+        "inside an ngsx_mpirun world; use --schedule static");
+  }
+}
+
 // ------------------------------------------------- dynamic scheduling core
 
 /// One unit of dynamically-scheduled work: a slice of part `part`'s input,
@@ -319,6 +346,7 @@ ConvertStats convert_sam(const std::string& sam_path,
     // Dynamic schedule: same part ranges as the static schedule (so part
     // files are byte-identical), but each part is subdivided into
     // Algorithm-1 byte chunks claimed dynamically from the pool.
+    check_schedule_not_launched();
     WallTimer timer;
     InputFile file(sam_path);
     auto ranges = partition_sam_forward(file, body, options.ranks);
@@ -361,6 +389,11 @@ ConvertStats convert_sam(const std::string& sam_path,
 
   std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
   std::vector<std::string> outputs(static_cast<size_t>(options.ranks));
+  for (int r = 0; r < options.ranks; ++r) {
+    // Part paths are a pure function of the rank, so they need no
+    // communication even when the ranks are separate processes.
+    outputs[static_cast<size_t>(r)] = part_path(out_dir, r, options.format);
+  }
 
   WallTimer timer;
   mpi::run(options.ranks, [&](mpi::Comm& comm) {
@@ -369,11 +402,10 @@ ConvertStats convert_sam(const std::string& sam_path,
     ByteRange range = partition_sam_distributed(file, body, comm);
 
     const std::string out_path = part_path(out_dir, rank, options.format);
-    outputs[static_cast<size_t>(rank)] = out_path;
     auto writer = make_target_writer(options.format, out_path, header,
                                      options.include_header);
 
-    LocalStats& local = locals[static_cast<size_t>(rank)];
+    LocalStats local;
     local.bytes_in = range.size();
 
     LineRangeReader lines(file, range, options.read_buffer_bytes);
@@ -391,6 +423,7 @@ ConvertStats convert_sam(const std::string& sam_path,
     }
     writer->close();
     local.bytes_out = writer->bytes_written();
+    publish_locals(comm, local, locals);
   });
 
   ConvertStats stats = merge_stats(locals);
@@ -726,6 +759,7 @@ ConvertStats convert_bamx(const std::string& bamx_path,
     // Dynamic schedule: the static record ranges are subdivided into
     // record batches dispatched through the pool; `probe` is shared by the
     // parse workers (its reads are positioned and const).
+    check_schedule_not_launched();
     WallTimer timer;
     std::vector<Chunk> chunks;
     std::function<ChunkResult(const Chunk&)> parse;
@@ -763,6 +797,9 @@ ConvertStats convert_bamx(const std::string& bamx_path,
 
   std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
   std::vector<std::string> outputs(static_cast<size_t>(options.ranks));
+  for (int r = 0; r < options.ranks; ++r) {
+    outputs[static_cast<size_t>(r)] = part_path(out_dir, r, options.format);
+  }
 
   WallTimer timer;
   mpi::run(options.ranks, [&](mpi::Comm& comm) {
@@ -770,10 +807,9 @@ ConvertStats convert_bamx(const std::string& bamx_path,
     auto reader_ptr = bamx::open_record_source(bamx_path);
     const bamx::RecordSource& reader = *reader_ptr;
     const std::string out_path = part_path(out_dir, rank, options.format);
-    outputs[static_cast<size_t>(rank)] = out_path;
     auto writer = make_target_writer(options.format, out_path, header,
                                      options.include_header);
-    LocalStats& local = locals[static_cast<size_t>(rank)];
+    LocalStats local;
 
     if (!region.has_value()) {
       // Full conversion: even record-range split (exact thanks to the
@@ -814,6 +850,7 @@ ConvertStats convert_bamx(const std::string& bamx_path,
     }
     writer->close();
     local.bytes_out = writer->bytes_written();
+    publish_locals(comm, local, locals);
   });
 
   ConvertStats stats = merge_stats(locals);
@@ -851,6 +888,7 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
   std::vector<uint64_t> matches = session.plan(region, mode, filter);
 
   if (options.schedule == Schedule::kDynamic) {
+    check_schedule_not_launched();
     WallTimer timer;
     std::vector<Chunk> chunks = record_chunks(
         split_records(matches.size(), options.ranks), options.record_batch);
@@ -872,6 +910,9 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
 
   std::vector<LocalStats> locals(static_cast<size_t>(options.ranks));
   std::vector<std::string> outputs(static_cast<size_t>(options.ranks));
+  for (int r = 0; r < options.ranks; ++r) {
+    outputs[static_cast<size_t>(r)] = part_path(out_dir, r, options.format);
+  }
 
   WallTimer timer;
   mpi::run(options.ranks, [&](mpi::Comm& comm) {
@@ -879,10 +920,9 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
     auto reader_ptr = bamx::open_record_source(bamx_path);
     const bamx::RecordSource& reader = *reader_ptr;
     const std::string out_path = part_path(out_dir, rank, options.format);
-    outputs[static_cast<size_t>(rank)] = out_path;
     auto writer = make_target_writer(options.format, out_path, header,
                                      options.include_header);
-    LocalStats& local = locals[static_cast<size_t>(rank)];
+    LocalStats local;
 
     auto shares = split_records(matches.size(), comm.size());
     auto [begin, end] = shares[static_cast<size_t>(rank)];
@@ -897,6 +937,7 @@ ConvertStats convert_bamx_filtered(const std::string& bamx_path,
     }
     writer->close();
     local.bytes_out = writer->bytes_written();
+    publish_locals(comm, local, locals);
   });
 
   ConvertStats stats = merge_stats(locals);
@@ -947,13 +988,19 @@ PreprocessStats preprocess_sam_parallel(const std::string& sam_path,
   std::vector<LocalStats> locals(static_cast<size_t>(m_ranks));
   std::vector<std::string> bamx_paths(static_cast<size_t>(m_ranks));
   std::vector<std::string> baix_paths(static_cast<size_t>(m_ranks));
+  for (int r = 0; r < m_ranks; ++r) {
+    bamx_paths[static_cast<size_t>(r)] =
+        out_dir + "/shard-" + std::to_string(r) + ".bamx";
+    baix_paths[static_cast<size_t>(r)] =
+        out_dir + "/shard-" + std::to_string(r) + ".baix";
+  }
 
   WallTimer timer;
   mpi::run(m_ranks, [&](mpi::Comm& comm) {
     const int rank = comm.rank();
     InputFile file(sam_path);
     ByteRange range = partition_sam_distributed(file, body, comm);
-    LocalStats& local = locals[static_cast<size_t>(rank)];
+    LocalStats local;
     local.bytes_in = range.size();
 
     // Pass 1 (measure): parse the partition to size the shard's layout.
@@ -972,12 +1019,8 @@ PreprocessStats preprocess_sam_parallel(const std::string& sam_path,
     }
 
     // Pass 2 (encode): write this rank's BAMX shard and its BAIX.
-    const std::string bamx_path =
-        out_dir + "/shard-" + std::to_string(rank) + ".bamx";
-    const std::string baix_path =
-        out_dir + "/shard-" + std::to_string(rank) + ".baix";
-    bamx_paths[static_cast<size_t>(rank)] = bamx_path;
-    baix_paths[static_cast<size_t>(rank)] = baix_path;
+    const std::string bamx_path = bamx_paths[static_cast<size_t>(rank)];
+    const std::string baix_path = baix_paths[static_cast<size_t>(rank)];
     {
       bamx::BamxWriter writer(bamx_path, header, layout);
       std::vector<bamx::BaixEntry> entries;
@@ -1000,6 +1043,7 @@ PreprocessStats preprocess_sam_parallel(const std::string& sam_path,
     }
     local.bytes_out =
         ngsx::file_size(bamx_path) + ngsx::file_size(baix_path);
+    publish_locals(comm, local, locals);
   });
 
   PreprocessStats stats;

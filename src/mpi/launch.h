@@ -1,0 +1,99 @@
+// ngsx/mpi/launch.h
+//
+// Internal: the run() drivers behind the three transports, plus the
+// world-bootstrap helpers shared between the library and the ngsx_mpirun
+// launcher (region creation for shm, listener creation for tcp, and the
+// crash-abort hooks the launcher uses when a rank dies abnormally).
+//
+// Environment protocol (normative description in docs/DISTRIBUTED.md):
+//
+//   NGSX_MPI_TRANSPORT            threads | shm | tcp (default threads)
+//   NGSX_MPI_RANK / NGSX_MPI_SIZE set by ngsx_mpirun: this process is one
+//                                 rank of a launched world
+//   NGSX_MPI_SHM_RING_BYTES       per-pair ring capacity (default 256 KiB)
+//   NGSX_MPI_SHM_FD               launched shm world: inherited fd of the
+//                                 shared region
+//   NGSX_MPI_TCP_RENDEZVOUS       host:port of rank 0's listener
+//   NGSX_MPI_TCP_LISTEN_FD        rank 0 under ngsx_mpirun: inherited
+//                                 pre-bound listener fd
+//   NGSX_MPI_TCP_HOST             address this rank advertises (default
+//                                 127.0.0.1)
+//   NGSX_MPI_TCP_CONNECT_TIMEOUT_MS  rendezvous/connect budget (default
+//                                 15000)
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mpi/minimpi.h"
+#include "mpi/transport.h"
+
+namespace ngsx::mpi::detail {
+
+// ---- run() drivers (dispatched from minimpi.cpp) --------------------------
+
+/// Ranks are threads of this process (the historical minimpi behavior).
+void run_threads(int nranks, const std::function<void(Comm&)>& body);
+
+/// Standalone shm/tcp: this process becomes rank 0 and forks ranks 1..N-1.
+void run_forked(int nranks, const std::function<void(Comm&)>& body);
+
+/// Under ngsx_mpirun: this process is one rank of a persistent world.
+void run_launched(int nranks, const std::function<void(Comm&)>& body);
+
+/// Flips what mpi::ranks_share_address_space() reports for this process.
+void set_ranks_share_address_space(bool shared);
+
+// ---- shm world bootstrap --------------------------------------------------
+
+/// Per-pair ring capacity: NGSX_MPI_SHM_RING_BYTES or 256 KiB, rounded up
+/// to a multiple of 64 and at least 4 KiB.
+uint64_t shm_ring_bytes();
+
+/// Total shared-region size for an nranks world (header + doorbells +
+/// nranks^2 rings), page-rounded.
+uint64_t shm_region_bytes(int nranks, uint64_t ring_bytes);
+
+/// Lays out and zero-initializes a world header in `base` (which must be
+/// shm_region_bytes() long).
+void shm_init_region(void* base, int nranks, uint64_t ring_bytes);
+
+/// Creates an unlinked, inheritable shared-memory file (in /dev/shm when
+/// available) holding an initialized region; returns its fd. Used by
+/// ngsx_mpirun, which passes the fd to every rank via NGSX_MPI_SHM_FD.
+int shm_create_fd(int nranks, uint64_t ring_bytes);
+
+/// Records `info` as the world's failure and wakes every rank — the
+/// launcher's crash path when a rank dies without aborting cleanly.
+void shm_abort_region(void* base, const ErrorInfo& info);
+
+/// Endpoint over an already-mapped region (fork mode inherits the mapping;
+/// launched mode mmaps NGSX_MPI_SHM_FD first).
+std::unique_ptr<Endpoint> make_shm_endpoint(void* base, int rank,
+                                            int nranks);
+
+// ---- tcp world bootstrap --------------------------------------------------
+
+struct TcpConfig {
+  std::string rendezvous_host;   // where ranks > 0 find rank 0
+  uint16_t rendezvous_port = 0;
+  int listen_fd = -1;            // rank 0: pre-bound listener, or -1 to bind
+  std::string advertise_host;    // address peers should dial back
+  uint64_t connect_timeout_ms = 15000;
+};
+
+/// TcpConfig resolved from the NGSX_MPI_TCP_* environment (launched mode).
+TcpConfig tcp_config_from_env();
+
+/// Binds a listening socket on host:*port (0 = ephemeral; the bound port
+/// is written back). The fd is inheritable. Used by ngsx_mpirun and the
+/// fork runner to pre-bind rank 0's rendezvous listener.
+int tcp_bind_listener(const std::string& host, uint16_t* port);
+
+std::unique_ptr<Endpoint> make_tcp_endpoint(const TcpConfig& cfg, int rank,
+                                            int nranks);
+
+}  // namespace ngsx::mpi::detail

@@ -1,181 +1,178 @@
 #include "mpi/minimpi.h"
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
-#include <exception>
-#include <map>
-#include <mutex>
-#include <thread>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <utility>
 
-#include "obs/trace.h"
+#include "mpi/launch.h"
+#include "mpi/transport.h"
+#include "obs/metrics.h"
 
 namespace ngsx::mpi {
+
+// ---- transport selection ---------------------------------------------------
+
+Transport transport() {
+  const char* v = std::getenv("NGSX_MPI_TRANSPORT");
+  if (v == nullptr || *v == '\0' || std::strcmp(v, "threads") == 0) {
+    return Transport::kThreads;
+  }
+  if (std::strcmp(v, "shm") == 0) {
+    return Transport::kShm;
+  }
+  if (std::strcmp(v, "tcp") == 0) {
+    return Transport::kTcp;
+  }
+  throw UsageError(std::string("NGSX_MPI_TRANSPORT must be threads, shm or "
+                               "tcp; got '") +
+                   v + "'");
+}
+
+const char* transport_name() {
+  switch (transport()) {
+    case Transport::kThreads:
+      return "threads";
+    case Transport::kShm:
+      return "shm";
+    case Transport::kTcp:
+      return "tcp";
+  }
+  return "threads";
+}
+
+bool launched() { return std::getenv("NGSX_MPI_RANK") != nullptr; }
+
+int launched_rank() {
+  return static_cast<int>(detail::env_u64("NGSX_MPI_RANK", 0));
+}
+
+int launched_size() {
+  return static_cast<int>(detail::env_u64("NGSX_MPI_SIZE", 1));
+}
+
 namespace detail {
+namespace {
+std::atomic<bool> g_ranks_share_address_space{true};
+}  // namespace
 
-// Shared state for one run(): per-rank mailboxes plus a generation barrier.
-class World {
- public:
-  explicit World(int nranks) : nranks_(nranks), mailboxes_(nranks) {}
-
-  void send(int src, int dest, int tag, std::string payload) {
-    check_rank(dest);
-    Mailbox& box = mailboxes_[static_cast<size_t>(dest)];
-    {
-      std::lock_guard<std::mutex> lock(box.mu);
-      box.queues[{src, tag}].push_back(std::move(payload));
-    }
-    box.cv.notify_all();
-  }
-
-  std::string recv(int self, int src, int tag) {
-    check_rank(src);
-    Mailbox& box = mailboxes_[static_cast<size_t>(self)];
-    std::unique_lock<std::mutex> lock(box.mu);
-    auto key = std::make_pair(src, tag);
-    box.cv.wait(lock, [&] {
-      if (aborted_.load(std::memory_order_acquire)) {
-        return true;
-      }
-      auto it = box.queues.find(key);
-      return it != box.queues.end() && !it->second.empty();
-    });
-    if (aborted_.load(std::memory_order_acquire)) {
-      throw AbortError();
-    }
-    auto& q = box.queues[key];
-    std::string payload = std::move(q.front());
-    q.pop_front();
-    return payload;
-  }
-
-  bool probe(int self, int src, int tag) {
-    Mailbox& box = mailboxes_[static_cast<size_t>(self)];
-    std::lock_guard<std::mutex> lock(box.mu);
-    auto it = box.queues.find({src, tag});
-    return it != box.queues.end() && !it->second.empty();
-  }
-
-  void barrier() {
-    std::unique_lock<std::mutex> lock(barrier_mu_);
-    if (aborted_.load(std::memory_order_acquire)) {
-      throw AbortError();
-    }
-    uint64_t my_generation = barrier_generation_;
-    if (++barrier_waiting_ == nranks_) {
-      barrier_waiting_ = 0;
-      ++barrier_generation_;
-      barrier_cv_.notify_all();
-      return;
-    }
-    barrier_cv_.wait(lock, [&] {
-      return barrier_generation_ != my_generation ||
-             aborted_.load(std::memory_order_acquire);
-    });
-    if (aborted_.load(std::memory_order_acquire) &&
-        barrier_generation_ == my_generation) {
-      throw AbortError();
-    }
-  }
-
-  /// Records the first failure and wakes every blocked rank.
-  void abort(std::exception_ptr error) {
-    {
-      std::lock_guard<std::mutex> lock(error_mu_);
-      if (!first_error_) {
-        first_error_ = error;
-      }
-    }
-    aborted_.store(true, std::memory_order_release);
-    {
-      std::lock_guard<std::mutex> lock(barrier_mu_);
-      barrier_cv_.notify_all();
-    }
-    for (auto& box : mailboxes_) {
-      std::lock_guard<std::mutex> lock(box.mu);
-      box.cv.notify_all();
-    }
-  }
-
-  std::exception_ptr first_error() {
-    std::lock_guard<std::mutex> lock(error_mu_);
-    return first_error_;
-  }
-
- private:
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<std::string>> queues;
-  };
-
-  void check_rank(int r) const {
-    NGSX_CHECK_MSG(r >= 0 && r < nranks_,
-                   "rank " + std::to_string(r) + " out of range [0, " +
-                       std::to_string(nranks_) + ")");
-  }
-
-  int nranks_;
-  std::vector<Mailbox> mailboxes_;
-
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_waiting_ = 0;
-  uint64_t barrier_generation_ = 0;
-
-  std::atomic<bool> aborted_{false};
-  std::mutex error_mu_;
-  std::exception_ptr first_error_;
-};
-
+void set_ranks_share_address_space(bool shared) {
+  g_ranks_share_address_space.store(shared, std::memory_order_relaxed);
+}
 }  // namespace detail
+
+bool ranks_share_address_space() {
+  return detail::g_ranks_share_address_space.load(std::memory_order_relaxed);
+}
+
+// ---- communicator ----------------------------------------------------------
 
 // Collectives use tags in this reserved space; user tags must be < kBaseTag.
 // FIFO delivery per (source, tag) plus the same-order collective contract
 // makes a single internal tag sufficient.
 namespace {
+
 constexpr int kInternalTag = 1 << 30;
+
+// mpi.transport.* is the transport-metrics contract (docs/OBSERVABILITY.md):
+// every message any backend carries is counted exactly once on each side,
+// and wait_us records how long recv-side matching blocked.
+struct TransportMetrics {
+  obs::Counter& send_messages = obs::counter("mpi.transport.send.messages");
+  obs::Counter& send_bytes = obs::counter("mpi.transport.send.bytes");
+  obs::Counter& recv_messages = obs::counter("mpi.transport.recv.messages");
+  obs::Counter& recv_bytes = obs::counter("mpi.transport.recv.bytes");
+  obs::Histogram& wait_us = obs::histogram("mpi.transport.wait_us");
+};
+
+TransportMetrics& metrics() {
+  static TransportMetrics m;
+  return m;
+}
+
 }  // namespace
 
+namespace detail {
+Comm make_comm(Endpoint* ep) { return Comm(ep); }
+}  // namespace detail
+
+Comm::Comm(detail::Endpoint* ep)
+    : ep_(ep), rank_(ep->rank()), size_(ep->size()) {}
+
+void Comm::send_internal(int dest, int tag, std::string_view payload) {
+  metrics().send_messages.add(1);
+  metrics().send_bytes.add(payload.size());
+  ep_->send(dest, tag, payload);
+}
+
+std::string Comm::recv_internal(int source, int tag) {
+  std::string payload;
+  {
+    obs::ScopedLatency wait(metrics().wait_us);
+    payload = ep_->recv(source, tag);
+  }
+  metrics().recv_messages.add(1);
+  metrics().recv_bytes.add(payload.size());
+  return payload;
+}
+
 void Comm::send(int dest, int tag, std::string_view payload) {
-  NGSX_CHECK_MSG(tag < kInternalTag, "user tags must be < 2^30");
-  world_->send(rank_, dest, tag, std::string(payload));
+  NGSX_CHECK_MSG(tag >= 0 && tag < kInternalTag,
+                 "user tags must be in [0, 2^30)");
+  send_internal(dest, tag, payload);
 }
 
 std::string Comm::recv(int source, int tag) {
-  NGSX_CHECK_MSG(tag < kInternalTag, "user tags must be < 2^30");
-  return world_->recv(rank_, source, tag);
+  NGSX_CHECK_MSG(tag >= 0 && tag < kInternalTag,
+                 "user tags must be in [0, 2^30)");
+  return recv_internal(source, tag);
 }
 
-bool Comm::probe(int source, int tag) {
-  return world_->probe(rank_, source, tag);
-}
+bool Comm::probe(int source, int tag) { return ep_->probe(source, tag); }
 
-void Comm::barrier() { world_->barrier(); }
+// Message-built barrier (gather-to-0 + release fan-out): identical
+// structure on every backend, and a rank blocked here is woken by the
+// same abort path as any blocked recv.
+void Comm::barrier() {
+  if (size_ == 1) {
+    return;
+  }
+  if (rank_ == 0) {
+    for (int r = 1; r < size_; ++r) {
+      recv_internal(r, kInternalTag);
+    }
+    for (int r = 1; r < size_; ++r) {
+      send_internal(r, kInternalTag, {});
+    }
+  } else {
+    send_internal(0, kInternalTag, {});
+    recv_internal(0, kInternalTag);
+  }
+}
 
 std::string Comm::bcast(int root, std::string payload) {
   if (rank_ == root) {
     for (int r = 0; r < size_; ++r) {
       if (r != root) {
-        world_->send(rank_, r, kInternalTag, payload);
+        send_internal(r, kInternalTag, payload);
       }
     }
     return payload;
   }
-  return world_->recv(rank_, root, kInternalTag);
+  return recv_internal(root, kInternalTag);
 }
 
 std::vector<std::string> Comm::gather(int root, std::string_view local) {
   if (rank_ != root) {
-    world_->send(rank_, root, kInternalTag, std::string(local));
+    send_internal(root, kInternalTag, local);
     return {};
   }
   std::vector<std::string> parts(static_cast<size_t>(size_));
   parts[static_cast<size_t>(root)] = std::string(local);
   for (int r = 0; r < size_; ++r) {
     if (r != root) {
-      parts[static_cast<size_t>(r)] = world_->recv(rank_, r, kInternalTag);
+      parts[static_cast<size_t>(r)] = recv_internal(r, kInternalTag);
     }
   }
   return parts;
@@ -210,30 +207,24 @@ std::vector<std::string> Comm::allgather(std::string_view local) {
   return out;
 }
 
+// ---- run() -----------------------------------------------------------------
+
 void run(int nranks, const std::function<void(Comm&)>& body) {
   NGSX_CHECK_MSG(nranks >= 1, "need at least one rank");
-  detail::World world(nranks);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&world, &body, r, nranks] {
-      obs::set_thread_name("mpi.rank");
-      obs::Span span("mpi", "rank");
-      Comm comm(&world, r, nranks);
-      try {
-        body(comm);
-      } catch (const AbortError&) {
-        // Another rank already failed; its error is the one to report.
-      } catch (...) {
-        world.abort(std::current_exception());
-      }
-    });
+  Transport t = transport();
+  if (t == Transport::kThreads) {
+    if (launched()) {
+      throw UsageError(
+          "NGSX_MPI_TRANSPORT=threads inside an ngsx_mpirun world would run "
+          "the whole job once per process; use shm or tcp");
+    }
+    detail::run_threads(nranks, body);
+    return;
   }
-  for (auto& t : threads) {
-    t.join();
-  }
-  if (auto error = world.first_error()) {
-    std::rethrow_exception(error);
+  if (launched()) {
+    detail::run_launched(nranks, body);
+  } else {
+    detail::run_forked(nranks, body);
   }
 }
 

@@ -1,17 +1,33 @@
 // ngsx/mpi/minimpi.h
 //
-// minimpi: an in-process message-passing runtime with MPI-shaped semantics.
+// minimpi: a message-passing runtime with MPI-shaped semantics and
+// pluggable transports.
 //
 // The paper's framework is "implemented in C++ with MPI" on a 32-node
 // cluster. This container has no MPI installation, so ngsx expresses its
-// parallel algorithms against this small communicator interface instead and
-// runs each rank as an OS thread. Point-to-point sends, barriers and
-// collectives have the same blocking semantics as their MPI counterparts
-// (send is buffered/eager like MPI_Bsend; recv blocks; collectives must be
-// called by every rank in the same order), so Algorithm 1's boundary
-// exchange, the NL-means halo replication and Algorithm 2's gather+reduce
-// execute with real concurrency and the same communication structure they
-// would have under MPI.
+// parallel algorithms against this small communicator interface instead.
+// Point-to-point sends, barriers and collectives have the same blocking
+// semantics as their MPI counterparts (send is buffered/eager like
+// MPI_Bsend; recv blocks; collectives must be called by every rank in the
+// same order), so Algorithm 1's boundary exchange, the NL-means halo
+// replication and Algorithm 2's gather+reduce execute with real concurrency
+// and the same communication structure they would have under MPI.
+//
+// Where the ranks actually live is a transport decision, selected by
+// NGSX_MPI_TRANSPORT (read at each run() call):
+//
+//   threads  each rank is an OS thread of this process (the default)
+//   shm      each rank is a process on this host; messages cross
+//            shared-memory ring buffers
+//   tcp      each rank is a process (any host); messages cross TCP
+//            connections
+//
+// Under shm/tcp, run() either forks its own ranks (standalone binaries:
+// rank 0 is the calling process, ranks 1..N-1 are forked children) or
+// joins a world launched by `ngsx_mpirun` (every rank is a separate
+// exec'd process). docs/DISTRIBUTED.md is the normative contract for all
+// of this: ordering and buffering guarantees, wire formats, failure
+// semantics, and the launcher protocol.
 //
 // Usage:
 //
@@ -23,7 +39,16 @@
 //   });
 //
 // Error handling: if any rank throws, the world is aborted, blocked ranks
-// are woken with AbortError, and run() rethrows the first failure.
+// are woken with AbortError, and run() rethrows the first failure (for the
+// process backends, an exception of the same ngsx error family,
+// reconstructed from the failing rank's error).
+//
+// Multi-process correctness: under shm/tcp the rank bodies execute in
+// separate address spaces, so lambda captures are per-rank *copies* — a
+// rank writing into a captured vector is invisible to the others. Code
+// that must work on every backend routes results through the communicator
+// (gather/allgather/bcast) and gates any single-writer shared-memory
+// stores on ranks_share_address_space().
 
 #pragma once
 
@@ -47,8 +72,51 @@ class AbortError : public Error {
 };
 
 namespace detail {
-class World;
+class Endpoint;
 }  // namespace detail
+
+class Comm;
+
+namespace detail {
+/// Internal factory used by the transport runners (launch.cpp).
+Comm make_comm(Endpoint* ep);
+}  // namespace detail
+
+// ---- transport selection ---------------------------------------------------
+
+enum class Transport {
+  kThreads,  // ranks are OS threads of this process (default)
+  kShm,      // ranks are same-host processes, shared-memory rings
+  kTcp,      // ranks are processes, TCP connections
+};
+
+/// The transport run() will use, resolved from NGSX_MPI_TRANSPORT
+/// ("threads" | "shm" | "tcp"; unset or empty means threads). Re-read on
+/// every call, so tests can switch backends between run()s. Throws
+/// UsageError on an unrecognized value.
+Transport transport();
+
+/// "threads", "shm" or "tcp" for the current transport().
+const char* transport_name();
+
+/// True when this process was started by `ngsx_mpirun` (NGSX_MPI_RANK /
+/// NGSX_MPI_SIZE are set): the process *is* one rank of a launched world,
+/// and run(n, body) requires n == launched_size().
+bool launched();
+int launched_rank();  // 0 when not launched
+int launched_size();  // 1 when not launched
+
+/// True when all ranks of the innermost active run() share this process's
+/// address space (threads backend). False inside shm/tcp rank bodies.
+/// Multi-backend code uses this to gate single-writer stores into captured
+/// shared state:
+///
+///   if (comm.rank() == 0 || !mpi::ranks_share_address_space())
+///     result = ...;  // threads: only rank 0 writes (no data race);
+///                    // processes: every rank fills its own copy
+bool ranks_share_address_space();
+
+// ---- communicator ----------------------------------------------------------
 
 /// Per-rank communicator handle. Not thread-safe: each rank owns exactly one
 /// Comm and uses it from its own thread only (mirroring MPI_COMM_WORLD use).
@@ -59,7 +127,9 @@ class Comm {
 
   // ---- point-to-point -----------------------------------------------------
 
-  /// Buffered (eager) send; never blocks on the receiver.
+  /// Buffered (eager) send; never blocks on the receiver. May block
+  /// transiently for transport buffer space (shm ring capacity, TCP socket
+  /// buffers) — see docs/DISTRIBUTED.md "Buffering bounds".
   void send(int dest, int tag, std::string_view payload);
 
   /// Blocks until a message with matching (source, tag) arrives. Messages
@@ -69,17 +139,32 @@ class Comm {
   /// True if a matching message is already queued (MPI_Iprobe analogue).
   bool probe(int source, int tag);
 
+  // Typed wrappers. The wire format for a T is its in-memory object
+  // representation, byte for byte — which is only meaningful when T is
+  // trivially copyable (enforced below) AND every rank runs a binary with
+  // the same ABI: same endianness, same type sizes, same struct padding.
+  // That holds trivially for threads/shm (one binary, one host) and for
+  // tcp ranks launched from the same build on same-endian hosts; the tcp
+  // handshake verifies endianness at connect time and refuses mixed-endian
+  // worlds rather than silently corrupting values. Cross-ABI portability
+  // beyond that check is explicitly out of scope — see
+  // docs/DISTRIBUTED.md "Typed messages and the ABI contract".
+
   /// Typed scalar convenience wrappers for trivially copyable T.
   template <typename T>
   void send_value(int dest, int tag, const T& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "minimpi sends raw object bytes: T must be trivially "
+                  "copyable (see docs/DISTRIBUTED.md)");
     send(dest, tag,
          std::string_view(reinterpret_cast<const char*>(&v), sizeof(T)));
   }
 
   template <typename T>
   T recv_value(int source, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "minimpi sends raw object bytes: T must be trivially "
+                  "copyable (see docs/DISTRIBUTED.md)");
     std::string payload = recv(source, tag);
     NGSX_CHECK_MSG(payload.size() == sizeof(T),
                    "typed recv size mismatch");
@@ -91,7 +176,9 @@ class Comm {
   /// Typed vector convenience wrappers for trivially copyable T.
   template <typename T>
   void send_vector(int dest, int tag, const std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "minimpi sends raw object bytes: T must be trivially "
+                  "copyable (see docs/DISTRIBUTED.md)");
     send(dest, tag,
          std::string_view(reinterpret_cast<const char*>(v.data()),
                           v.size() * sizeof(T)));
@@ -99,7 +186,9 @@ class Comm {
 
   template <typename T>
   std::vector<T> recv_vector(int source, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "minimpi sends raw object bytes: T must be trivially "
+                  "copyable (see docs/DISTRIBUTED.md)");
     std::string payload = recv(source, tag);
     NGSX_CHECK_MSG(payload.size() % sizeof(T) == 0,
                    "typed recv size not a multiple of element size");
@@ -150,6 +239,41 @@ class Comm {
     return out;
   }
 
+  /// gather_values delivered at every rank.
+  template <typename T>
+  std::vector<T> allgather_values(const T& local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto parts = allgather(
+        std::string_view(reinterpret_cast<const char*>(&local), sizeof(T)));
+    std::vector<T> out;
+    out.reserve(parts.size());
+    for (const auto& p : parts) {
+      T v;
+      NGSX_CHECK(p.size() == sizeof(T));
+      __builtin_memcpy(&v, p.data(), sizeof(T));
+      out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Gathers each rank's vector<T> at every rank, indexed by rank.
+  template <typename T>
+  std::vector<std::vector<T>> allgather_vectors(const std::vector<T>& local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto parts = allgather(
+        std::string_view(reinterpret_cast<const char*>(local.data()),
+                         local.size() * sizeof(T)));
+    std::vector<std::vector<T>> out;
+    out.reserve(parts.size());
+    for (const auto& p : parts) {
+      NGSX_CHECK(p.size() % sizeof(T) == 0);
+      std::vector<T> v(p.size() / sizeof(T));
+      __builtin_memcpy(v.data(), p.data(), p.size());
+      out.push_back(std::move(v));
+    }
+    return out;
+  }
+
   /// Sum-reduction to `root`; other ranks get T{}.
   template <typename T>
   T reduce_sum(int root, const T& local) {
@@ -195,19 +319,32 @@ class Comm {
   }
 
  private:
-  friend void run(int, const std::function<void(Comm&)>&);
-  Comm(detail::World* world, int rank, int size)
-      : world_(world), rank_(rank), size_(size) {}
+  friend Comm detail::make_comm(detail::Endpoint*);
+  explicit Comm(detail::Endpoint* ep);
 
-  detail::World* world_;
+  // Internal send/recv: shared by the public p2p calls and the
+  // collectives, so transport metrics count every message exactly once.
+  void send_internal(int dest, int tag, std::string_view payload);
+  std::string recv_internal(int source, int tag);
+
+  detail::Endpoint* ep_;
   int rank_;
   int size_;
 };
 
-/// Launches `nranks` ranks, each running `body` on its own thread with its
-/// own Comm, and joins them. Rethrows the first rank failure. Reentrant:
-/// distinct run() calls use distinct worlds (but do not nest run() inside a
-/// rank body).
+/// Launches `nranks` ranks, each running `body` with its own Comm, and
+/// joins them. Rethrows the first rank failure. Reentrant for the threads
+/// backend: distinct run() calls use distinct worlds (but do not nest
+/// run() inside a rank body).
+///
+/// Backend-specific behavior (normative details in docs/DISTRIBUTED.md):
+///  * threads — each rank is a thread of this process.
+///  * shm/tcp, standalone — this process becomes rank 0 and forks ranks
+///    1..N-1; run() returns after every child has exited.
+///  * shm/tcp, launched (`ngsx_mpirun -n N prog`) — this process is rank
+///    launched_rank() of a persistent N-rank world; nranks must equal N,
+///    every rank must call run() the same number of times in the same
+///    order, and run() ends with an implicit barrier.
 void run(int nranks, const std::function<void(Comm&)>& body);
 
 }  // namespace ngsx::mpi

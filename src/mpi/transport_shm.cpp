@@ -1,0 +1,418 @@
+// ngsx/mpi/transport_shm.cpp
+//
+// Same-host multi-process transport over shared-memory ring buffers.
+//
+// Region layout (normative copy in docs/DISTRIBUTED.md "shm ring layout"):
+//
+//   [ ShmHeader, padded to 4096 ]     magic/geometry + abort flag + the
+//                                     first-failure error record
+//   [ Doorbell x nranks, 64 B each ]  per-rank wakeup word: producers bump
+//                                     dest's doorbell after writing
+//   [ Ring x nranks^2 ]               ring (src,dest) at src*nranks+dest:
+//     [ RingCtl, 192 B ]              tail (producer), head (consumer),
+//                                     space_seq (consumer bumps on free)
+//     [ data, ring_bytes ]            byte ring, cursors are free-running
+//
+// Each directed pair has exactly one producer (src's app thread) and one
+// consumer (dest's progress thread), so the rings are SPSC: tail is only
+// written by the producer, head only by the consumer, and acquire/release
+// on the cursors orders the data bytes. Messages are framed as
+// { u32 tag, u32 epoch, u64 len, payload } and *stream* through the ring:
+// a message larger than ring_bytes is written in chunks as the consumer
+// frees space, so eager-send only blocks on ring capacity, never on
+// receiver-side matching (the consumer drains unconditionally into the
+// destination's unbounded mailbox).
+//
+// Wakeups are plain (process-shared) futexes with a 50 ms bound, so every
+// blocked path re-checks the abort flag even if a wake is lost — e.g. when
+// a rank is SIGKILLed between store and wake.
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpi/launch.h"
+#include "mpi/minimpi.h"
+#include "mpi/transport.h"
+
+namespace ngsx::mpi::detail {
+
+namespace {
+
+constexpr uint64_t kShmMagic = 0x314d48535853474eULL;  // "NGSXSHM1"
+constexpr uint32_t kShmVersion = 1;
+constexpr uint64_t kHeaderBytes = 4096;
+constexpr uint64_t kDoorbellBytes = 64;
+constexpr uint64_t kRingCtlBytes = 192;
+constexpr uint64_t kFrameHeaderBytes = 16;  // u32 tag, u32 epoch, u64 len
+
+struct ShmHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t nranks;
+  uint64_t ring_bytes;
+  std::atomic<uint32_t> abort_flag;
+  std::atomic<uint32_t> error_claim;  // CAS 0->1 elects the error writer
+  std::atomic<uint32_t> error_ready;  // set after kind/msg are complete
+  uint32_t pad;
+  char error_kind[32];
+  char error_msg[480];
+};
+static_assert(sizeof(ShmHeader) <= kHeaderBytes);
+static_assert(std::atomic<uint32_t>::is_always_lock_free);
+static_assert(std::atomic<uint64_t>::is_always_lock_free);
+
+struct alignas(64) Doorbell {
+  std::atomic<uint32_t> seq;
+};
+static_assert(sizeof(Doorbell) == kDoorbellBytes);
+
+struct RingCtl {
+  alignas(64) std::atomic<uint64_t> tail;       // producer cursor
+  alignas(64) std::atomic<uint64_t> head;       // consumer cursor
+  alignas(64) std::atomic<uint32_t> space_seq;  // bumped when head moves
+};
+static_assert(sizeof(RingCtl) == kRingCtlBytes);
+
+uint64_t page_round(uint64_t n) {
+  const uint64_t page = 4096;
+  return (n + page - 1) / page * page;
+}
+
+ShmHeader* header_of(void* base) { return static_cast<ShmHeader*>(base); }
+
+Doorbell* doorbell_of(void* base, int rank) {
+  return reinterpret_cast<Doorbell*>(static_cast<char*>(base) +
+                                     kHeaderBytes +
+                                     static_cast<uint64_t>(rank) *
+                                         kDoorbellBytes);
+}
+
+uint64_t ring_stride(uint64_t ring_bytes) {
+  return kRingCtlBytes + ring_bytes;
+}
+
+RingCtl* ring_ctl_of(void* base, int nranks, uint64_t ring_bytes, int src,
+                     int dest) {
+  uint64_t index = static_cast<uint64_t>(src) *
+                       static_cast<uint64_t>(nranks) +
+                   static_cast<uint64_t>(dest);
+  char* p = static_cast<char*>(base) + kHeaderBytes +
+            static_cast<uint64_t>(nranks) * kDoorbellBytes +
+            index * ring_stride(ring_bytes);
+  return reinterpret_cast<RingCtl*>(p);
+}
+
+char* ring_data_of(RingCtl* ctl) {
+  return reinterpret_cast<char*>(ctl) + kRingCtlBytes;
+}
+
+void bump(std::atomic<uint32_t>* word) {
+  word->fetch_add(1, std::memory_order_release);
+  futex_wake_all(word);
+}
+
+class ShmEndpoint final : public Endpoint {
+ public:
+  ShmEndpoint(void* base, int rank, int nranks)
+      : Endpoint(rank, nranks),
+        base_(base),
+        hdr_(header_of(base)),
+        ring_bytes_(hdr_->ring_bytes),
+        in_state_(static_cast<size_t>(nranks)) {
+    progress_ = std::thread([this] { progress_loop(); });
+  }
+
+  ~ShmEndpoint() override {
+    stop_.store(true, std::memory_order_release);
+    bump(&doorbell_of(base_, rank_)->seq);
+    progress_.join();
+  }
+
+  void send(int dest, int tag, std::string_view payload) override {
+    check_peer(dest);
+    if (dest == rank_) {
+      mailbox_.deliver(rank_, tag, epoch_, std::string(payload));
+      return;
+    }
+    if (aborted_flag()) {
+      throw AbortError();
+    }
+    char frame[kFrameHeaderBytes];
+    uint32_t tag32 = static_cast<uint32_t>(tag);
+    uint64_t len = payload.size();
+    std::memcpy(frame, &tag32, 4);
+    std::memcpy(frame + 4, &epoch_, 4);
+    std::memcpy(frame + 8, &len, 8);
+    RingCtl* ctl = ring_ctl_of(base_, size_, ring_bytes_, rank_, dest);
+    write_stream(ctl, dest, frame, kFrameHeaderBytes);
+    write_stream(ctl, dest, payload.data(), payload.size());
+    bump(&doorbell_of(base_, dest)->seq);
+  }
+
+  std::string recv(int src, int tag) override {
+    check_peer(src);
+    return mailbox_.recv(src, tag, epoch_);
+  }
+
+  bool probe(int src, int tag) override {
+    check_peer(src);
+    return mailbox_.probe(src, tag, epoch_);
+  }
+
+  void abort(const ErrorInfo& info) override {
+    shm_abort_region(base_, info);
+    mailbox_.abort();
+  }
+
+  std::optional<ErrorInfo> abort_error() const override {
+    if (hdr_->error_ready.load(std::memory_order_acquire) == 0) {
+      return std::nullopt;
+    }
+    ErrorInfo info;
+    info.kind.assign(hdr_->error_kind,
+                     strnlen(hdr_->error_kind, sizeof(hdr_->error_kind)));
+    info.message.assign(hdr_->error_msg,
+                        strnlen(hdr_->error_msg, sizeof(hdr_->error_msg)));
+    return info;
+  }
+
+  void begin_epoch(uint32_t epoch) override {
+    epoch_ = epoch;
+    mailbox_.begin_epoch(epoch);
+  }
+
+  const char* backend_name() const override { return "shm"; }
+
+ private:
+  // Per-source reassembly state: a frame may arrive across many drain
+  // passes (large messages stream through the ring).
+  struct Inbound {
+    uint64_t hdr_got = 0;
+    char hdr[kFrameHeaderBytes];
+    bool have_hdr = false;
+    uint32_t tag = 0;
+    uint32_t epoch = 0;
+    uint64_t need = 0;
+    std::string payload;
+  };
+
+  bool aborted_flag() const {
+    return hdr_->abort_flag.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Producer side: appends `len` bytes to the (rank_, dest) ring,
+  /// blocking (abort-aware) while the ring is full.
+  void write_stream(RingCtl* ctl, int dest, const char* p, uint64_t len) {
+    char* data = ring_data_of(ctl);
+    uint64_t tail = ctl->tail.load(std::memory_order_relaxed);
+    while (len > 0) {
+      uint64_t head = ctl->head.load(std::memory_order_acquire);
+      uint64_t space = ring_bytes_ - (tail - head);
+      if (space == 0) {
+        // The consumer may be asleep with the ring full; make sure it
+        // runs, then wait for space (bounded, so aborts are never missed).
+        bump(&doorbell_of(base_, dest)->seq);
+        if (aborted_flag()) {
+          throw AbortError();
+        }
+        uint32_t seq = ctl->space_seq.load(std::memory_order_acquire);
+        if (ctl->head.load(std::memory_order_acquire) == head) {
+          futex_wait(&ctl->space_seq, seq);
+        }
+        continue;
+      }
+      uint64_t chunk = std::min(space, len);
+      uint64_t off = tail % ring_bytes_;
+      uint64_t first = std::min(chunk, ring_bytes_ - off);
+      std::memcpy(data + off, p, first);
+      std::memcpy(data, p + first, chunk - first);
+      tail += chunk;
+      ctl->tail.store(tail, std::memory_order_release);
+      p += chunk;
+      len -= chunk;
+    }
+  }
+
+  /// Consumer side: moves every available byte of the (src, rank_) ring
+  /// into the mailbox; returns true if any progress was made.
+  bool drain_ring(int src) {
+    RingCtl* ctl = ring_ctl_of(base_, size_, ring_bytes_, src, rank_);
+    char* data = ring_data_of(ctl);
+    Inbound& st = in_state_[static_cast<size_t>(src)];
+    uint64_t head = ctl->head.load(std::memory_order_relaxed);
+    uint64_t tail = ctl->tail.load(std::memory_order_acquire);
+    bool progressed = false;
+    while (head != tail) {
+      uint64_t avail = tail - head;
+      uint64_t take;
+      if (!st.have_hdr) {
+        take = std::min(kFrameHeaderBytes - st.hdr_got, avail);
+        copy_out(data, head, st.hdr + st.hdr_got, take);
+        st.hdr_got += take;
+        if (st.hdr_got == kFrameHeaderBytes) {
+          std::memcpy(&st.tag, st.hdr, 4);
+          std::memcpy(&st.epoch, st.hdr + 4, 4);
+          std::memcpy(&st.need, st.hdr + 8, 8);
+          st.have_hdr = true;
+          st.payload.clear();
+        }
+      } else {
+        take = std::min(st.need - st.payload.size(), avail);
+        size_t old = st.payload.size();
+        st.payload.resize(old + take);
+        copy_out(data, head, st.payload.data() + old, take);
+      }
+      head += take;
+      ctl->head.store(head, std::memory_order_release);
+      bump(&ctl->space_seq);
+      progressed = true;
+      if (st.have_hdr && st.payload.size() == st.need) {
+        mailbox_.deliver(src, static_cast<int>(st.tag), st.epoch,
+                         std::move(st.payload));
+        st = Inbound{};
+      }
+      tail = ctl->tail.load(std::memory_order_acquire);
+    }
+    return progressed;
+  }
+
+  void copy_out(const char* data, uint64_t head, char* out, uint64_t len) {
+    uint64_t off = head % ring_bytes_;
+    uint64_t first = std::min(len, ring_bytes_ - off);
+    std::memcpy(out, data + off, first);
+    std::memcpy(out + first, data, len - first);
+  }
+
+  void progress_loop() {
+    Doorbell* my_bell = doorbell_of(base_, rank_);
+    for (;;) {
+      uint32_t seq = my_bell->seq.load(std::memory_order_acquire);
+      bool any = false;
+      for (int src = 0; src < size_; ++src) {
+        if (src != rank_) {
+          any = drain_ring(src) || any;
+        }
+      }
+      if (aborted_flag()) {
+        mailbox_.abort();
+        // Producers blocked on our rings recheck the abort flag on their
+        // own bounded waits; no more draining is needed.
+        return;
+      }
+      if (stop_.load(std::memory_order_acquire)) {
+        if (!any) {
+          return;
+        }
+        continue;
+      }
+      if (!any) {
+        futex_wait(&my_bell->seq, seq);
+      }
+    }
+  }
+
+  void* base_;
+  ShmHeader* hdr_;
+  uint64_t ring_bytes_;
+  uint32_t epoch_ = 0;
+  Mailbox mailbox_;
+  std::vector<Inbound> in_state_;
+  std::atomic<bool> stop_{false};
+  std::thread progress_;
+};
+
+}  // namespace
+
+// ---- bootstrap helpers -----------------------------------------------------
+
+uint64_t shm_ring_bytes() {
+  uint64_t bytes = env_u64("NGSX_MPI_SHM_RING_BYTES", 256 * 1024);
+  if (bytes < 4096) {
+    bytes = 4096;
+  }
+  return (bytes + 63) / 64 * 64;
+}
+
+uint64_t shm_region_bytes(int nranks, uint64_t ring_bytes) {
+  uint64_t n = static_cast<uint64_t>(nranks);
+  return page_round(kHeaderBytes + n * kDoorbellBytes +
+                    n * n * ring_stride(ring_bytes));
+}
+
+void shm_init_region(void* base, int nranks, uint64_t ring_bytes) {
+  // The mapping arrives zeroed (MAP_ANONYMOUS or ftruncate); only the
+  // geometry fields need values.
+  ShmHeader* hdr = header_of(base);
+  hdr->magic = kShmMagic;
+  hdr->version = kShmVersion;
+  hdr->nranks = static_cast<uint32_t>(nranks);
+  hdr->ring_bytes = ring_bytes;
+}
+
+int shm_create_fd(int nranks, uint64_t ring_bytes) {
+  const uint64_t bytes = shm_region_bytes(nranks, ring_bytes);
+  char path[] = "/dev/shm/ngsx-mpi-XXXXXX";
+  int fd = ::mkstemp(path);
+  if (fd < 0) {
+    char tmp[] = "/tmp/ngsx-mpi-XXXXXX";
+    fd = ::mkstemp(tmp);
+    NGSX_CHECK_MSG(fd >= 0, "cannot create minimpi shared-memory file");
+    ::unlink(tmp);
+  } else {
+    ::unlink(path);
+  }
+  NGSX_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(bytes)) == 0,
+                 "cannot size minimpi shared-memory file");
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd, 0);
+  NGSX_CHECK_MSG(base != MAP_FAILED, "cannot map minimpi shared region");
+  shm_init_region(base, nranks, ring_bytes);
+  ::munmap(base, bytes);
+  return fd;
+}
+
+void shm_abort_region(void* base, const ErrorInfo& info) {
+  ShmHeader* hdr = header_of(base);
+  uint32_t expected = 0;
+  if (hdr->error_claim.compare_exchange_strong(expected, 1,
+                                               std::memory_order_acq_rel)) {
+    std::strncpy(hdr->error_kind, info.kind.c_str(),
+                 sizeof(hdr->error_kind) - 1);
+    std::strncpy(hdr->error_msg, info.message.c_str(),
+                 sizeof(hdr->error_msg) - 1);
+    hdr->error_ready.store(1, std::memory_order_release);
+  }
+  hdr->abort_flag.store(1, std::memory_order_release);
+  const int n = static_cast<int>(hdr->nranks);
+  for (int r = 0; r < n; ++r) {
+    bump(&doorbell_of(base, r)->seq);
+  }
+  // Unblock producers stuck on full rings too.
+  for (int src = 0; src < n; ++src) {
+    for (int dest = 0; dest < n; ++dest) {
+      bump(&ring_ctl_of(base, n, hdr->ring_bytes, src, dest)->space_seq);
+    }
+  }
+}
+
+std::unique_ptr<Endpoint> make_shm_endpoint(void* base, int rank,
+                                            int nranks) {
+  ShmHeader* hdr = header_of(base);
+  NGSX_CHECK_MSG(hdr->magic == kShmMagic && hdr->version == kShmVersion,
+                 "minimpi shared region has wrong magic/version");
+  NGSX_CHECK_MSG(hdr->nranks == static_cast<uint32_t>(nranks),
+                 "minimpi shared region sized for " +
+                     std::to_string(hdr->nranks) + " ranks, expected " +
+                     std::to_string(nranks));
+  return std::make_unique<ShmEndpoint>(base, rank, nranks);
+}
+
+}  // namespace ngsx::mpi::detail

@@ -1,0 +1,133 @@
+// ngsx/mpi/transport_threads.cpp
+//
+// The in-process transport: every rank is an OS thread, a send is a
+// deposit straight into the destination rank's mailbox, and abort is a
+// stored exception_ptr — so run() can rethrow the failing rank's original
+// exception object, not a reconstruction. One world per run() call;
+// undelivered messages die with the world.
+
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mpi/launch.h"
+#include "mpi/minimpi.h"
+#include "mpi/transport.h"
+#include "obs/trace.h"
+
+namespace ngsx::mpi::detail {
+
+namespace {
+
+class ThreadsWorld {
+ public:
+  explicit ThreadsWorld(int nranks) : boxes_(static_cast<size_t>(nranks)) {}
+
+  Mailbox& box(int rank) { return boxes_[static_cast<size_t>(rank)]; }
+
+  void abort(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) {
+        first_error_ = error;
+      }
+    }
+    for (auto& box : boxes_) {
+      box.abort();
+    }
+  }
+
+  std::exception_ptr first_error() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+
+ private:
+  std::vector<Mailbox> boxes_;
+  std::mutex mu_;
+  std::exception_ptr first_error_;
+};
+
+class ThreadsEndpoint final : public Endpoint {
+ public:
+  ThreadsEndpoint(ThreadsWorld* world, int rank, int size)
+      : Endpoint(rank, size), world_(world) {}
+
+  void send(int dest, int tag, std::string_view payload) override {
+    check_peer(dest);
+    if (world_->box(rank_).aborted()) {
+      throw AbortError();
+    }
+    world_->box(dest).deliver(rank_, tag, /*epoch=*/0, std::string(payload));
+  }
+
+  std::string recv(int src, int tag) override {
+    check_peer(src);
+    return world_->box(rank_).recv(src, tag, /*epoch=*/0);
+  }
+
+  bool probe(int src, int tag) override {
+    check_peer(src);
+    return world_->box(rank_).probe(src, tag, /*epoch=*/0);
+  }
+
+  void abort(const ErrorInfo& info) override {
+    std::exception_ptr ptr;
+    try {
+      info.rethrow();
+    } catch (...) {
+      ptr = std::current_exception();
+    }
+    world_->abort(ptr);
+  }
+
+  std::optional<ErrorInfo> abort_error() const override {
+    std::exception_ptr ptr = world_->first_error();
+    if (!ptr) {
+      return std::nullopt;
+    }
+    try {
+      std::rethrow_exception(ptr);
+    } catch (...) {
+      return classify_current_exception();
+    }
+  }
+
+  const char* backend_name() const override { return "threads"; }
+
+ private:
+  ThreadsWorld* world_;
+};
+
+}  // namespace
+
+void run_threads(int nranks, const std::function<void(Comm&)>& body) {
+  set_ranks_share_address_space(true);
+  ThreadsWorld world(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &body, r, nranks] {
+      obs::set_thread_name("mpi.rank");
+      obs::Span span("mpi", "rank");
+      ThreadsEndpoint ep(&world, r, nranks);
+      Comm comm = make_comm(&ep);
+      try {
+        body(comm);
+      } catch (const AbortError&) {
+        // Another rank already failed; its error is the one to report.
+      } catch (...) {
+        world.abort(std::current_exception());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (auto error = world.first_error()) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ngsx::mpi::detail

@@ -156,6 +156,7 @@ FdrResult fdr_parallel(std::span<const double> histogram,
     };
     auto gathered =
         comm.gather_values<Sums>(0, Sums{local_diamond, local_star});
+    FdrResult combined{};
     if (comm.rank() == 0) {
       int64_t sum_diamond = 0;
       int64_t sum_star = 0;
@@ -163,7 +164,13 @@ FdrResult fdr_parallel(std::span<const double> histogram,
         sum_diamond += s.diamond;
         sum_star += s.star;
       }
-      result = make_result(sum_diamond, sum_star, sims.size());
+      combined = make_result(sum_diamond, sum_star, sims.size());
+    }
+    // Broadcast so every rank of a multi-process world returns the value;
+    // under threads only rank 0 stores it (single writer, no race).
+    combined = comm.bcast_value(0, combined);
+    if (comm.rank() == 0 || !mpi::ranks_share_address_space()) {
+      result = combined;
     }
   });
   return result;
@@ -206,8 +213,13 @@ FdrResult fdr_parallel_two_pass(std::span<const double> histogram,
       }
     }
     int64_t sum_star = comm.reduce_sum<int64_t>(0, local_star);
+    FdrResult combined{};
     if (comm.rank() == 0) {
-      result = make_result(sum_diamond, sum_star, b_count);
+      combined = make_result(sum_diamond, sum_star, b_count);
+    }
+    combined = comm.bcast_value(0, combined);
+    if (comm.rank() == 0 || !mpi::ranks_share_address_space()) {
+      result = combined;
     }
   });
   return result;

@@ -209,6 +209,24 @@ CoverageHistogram histogram_from_bamx_parallel(const std::string& bamx_path,
         }
       }
     }
+    // Broadcast the summed bins: when the ranks are separate processes
+    // (shm/tcp) every rank's copy of `result` must hold the totals —
+    // especially under ngsx_mpirun, where every rank returns it to its
+    // caller. Under threads the non-root ranks skip the store.
+    for (size_t ref = 0; ref < n_refs; ++ref) {
+      const auto& root_bins = result.bins(static_cast<int32_t>(ref));
+      std::string bytes = comm.bcast(
+          0, comm.rank() == 0
+                 ? std::string(
+                       reinterpret_cast<const char*>(root_bins.data()),
+                       root_bins.size() * sizeof(double))
+                 : std::string());
+      if (comm.rank() != 0 && !mpi::ranks_share_address_space()) {
+        auto& bins = result.mutable_bins(static_cast<int32_t>(ref));
+        NGSX_CHECK(bytes.size() == bins.size() * sizeof(double));
+        __builtin_memcpy(bins.data(), bytes.data(), bytes.size());
+      }
+    }
   });
   return result;
 }

@@ -160,8 +160,24 @@ std::vector<double> nlmeans_parallel(std::span<const double> data,
     }
 
     // Step 3: process only the original partition P_i over P'_i.
+    std::vector<double> denoised(hi - lo);
     nlmeans_kernel(extended.data(), extended.size(), ext_begin, n, lo, hi,
-                   params, result.data() + lo);
+                   params, denoised.data());
+
+    // Step 4: assemble. Slices travel through the communicator because the
+    // ranks may be separate processes; partitions are contiguous in rank
+    // order, so concatenation reconstructs the array. Under threads only
+    // rank 0 writes the shared result; each process rank fills its own
+    // copy (so a launched world returns the full result on every rank).
+    auto slices = comm.allgather_vectors<double>(denoised);
+    if (comm.rank() == 0 || !mpi::ranks_share_address_space()) {
+      size_t at = 0;
+      for (const auto& slice : slices) {
+        std::copy(slice.begin(), slice.end(),
+                  result.begin() + static_cast<long>(at));
+        at += slice.size();
+      }
+    }
   });
   return result;
 }
