@@ -28,6 +28,7 @@
 
 #include <memory>
 
+#include "core/collate.h"
 #include "core/convert.h"
 #include "exec/pool.h"
 #include "mpi/minimpi.h"
@@ -66,7 +67,14 @@ int usage(const char* prog) {
                "--metrics writes a ngsx.metrics.v1 snapshot, --trace a\n"
                "Chrome-trace JSON (see docs/OBSERVABILITY.md)\n"
                "--metrics-interval additionally rewrites the --metrics file\n"
-               "atomically every SEC seconds while the conversion runs\n",
+               "atomically every SEC seconds while the conversion runs\n"
+               "--collate MODE instead runs the read-pair collation stage\n"
+               "(docs/COLLATION.md) over --in; MODE: bam (name-grouped\n"
+               "BAM), fastq (paired R1/R2 + orphans/singles), mark-dups or\n"
+               "drop-dups (streaming duplicate marking). --collate-mem N\n"
+               "caps in-memory records before spilling, --temp-dir DIR\n"
+               "redirects spill runs, --no-orphans drops orphaned mates\n"
+               "from FASTQ export\n",
                prog);
   return 2;
 }
@@ -114,7 +122,8 @@ int main(int argc, char** argv) {
   const std::string in = args.get("in", "");
   const std::string out = args.get("out", "");
   const std::string to = args.get("to", "");
-  if (in.empty() || out.empty() || to.empty()) {
+  // --collate modes replace the format conversion, so --to is not needed.
+  if (in.empty() || out.empty() || (to.empty() && !args.has("collate"))) {
     return usage(argv[0]);
   }
 
@@ -155,6 +164,90 @@ int main(int argc, char** argv) {
             metrics_path,
             std::chrono::milliseconds(metrics_interval * 1000));
       }
+    }
+
+    // Collation modes run the pair-collation stage instead of a format
+    // conversion (docs/COLLATION.md); they are single-process by design —
+    // the stage's state is one bounded hash bucket, not a rank-parallel
+    // partition.
+    const std::string collate_mode = args.get("collate", "");
+    if (!collate_mode.empty()) {
+      if (mpi::launched()) {
+        throw UsageError("--collate does not run under ngsx_mpirun");
+      }
+      core::CollateOptions copt;
+      const int64_t collate_mem = args.get_int("collate-mem", 0);
+      if (collate_mem < 0) {
+        throw UsageError("--collate-mem must be >= 0 (0 = default)");
+      }
+      if (collate_mem > 0) {
+        copt.max_records_in_memory = static_cast<size_t>(collate_mem);
+      }
+      const int64_t decode_request = args.get_int("decode-threads", 0);
+      if (decode_request < 0) {
+        throw UsageError("--decode-threads must be >= 0 (0 = auto)");
+      }
+      copt.decode_threads = static_cast<int>(decode_request);
+      const int64_t parse_request = args.get_int("threads", 0);
+      if (parse_request < 0) {
+        throw UsageError("--threads must be >= 0 (0 = auto)");
+      }
+      copt.parse_threads = static_cast<int>(parse_request);
+      copt.temp_dir = args.get("temp-dir", "");
+      copt.keep_orphans = !args.get_bool("no-orphans", false);
+
+      std::filesystem::create_directories(out);
+      core::CollateStats cs;
+      if (collate_mode == "bam") {
+        cs = core::collate_to_bam(in, out + "/collated.bam", copt);
+      } else if (collate_mode == "fastq") {
+        cs = core::collate_to_fastq(in, out + "/reads", copt);
+      } else if (collate_mode == "mark-dups" || collate_mode == "drop-dups") {
+        cs = core::mark_duplicates(in, out + "/markdup.bam",
+                                   collate_mode == "mark-dups"
+                                       ? core::DuplicateMode::kMark
+                                       : core::DuplicateMode::kDrop,
+                                   copt);
+      } else {
+        throw UsageError(
+            "--collate must be bam, fastq, mark-dups or drop-dups");
+      }
+
+      std::printf(
+          "collated %llu records in %.2f s: %llu pairs, %llu orphans, "
+          "%llu singles, %llu passthrough\n",
+          static_cast<unsigned long long>(cs.records), cs.seconds,
+          static_cast<unsigned long long>(cs.pairs),
+          static_cast<unsigned long long>(cs.orphans),
+          static_cast<unsigned long long>(cs.singles),
+          static_cast<unsigned long long>(cs.passthrough));
+      if (cs.spill_runs > 0) {
+        std::printf("spilled %llu records across %llu runs (%.1f MB)\n",
+                    static_cast<unsigned long long>(cs.spilled_records),
+                    static_cast<unsigned long long>(cs.spill_runs),
+                    cs.spilled_bytes / 1e6);
+      }
+      if (collate_mode == "mark-dups" || collate_mode == "drop-dups") {
+        std::printf("%s %llu duplicate groups (%llu records)\n",
+                    collate_mode == "mark-dups" ? "marked" : "dropped",
+                    static_cast<unsigned long long>(cs.dup_pairs),
+                    static_cast<unsigned long long>(cs.dup_records));
+      }
+      const obs::Snapshot snap = obs::snapshot();
+      print_stage_summary(snap);
+      std::printf("%llu records written, %zu output files under %s\n",
+                  static_cast<unsigned long long>(cs.written),
+                  cs.outputs.size(), out.c_str());
+      if (flusher != nullptr) {
+        flusher->stop();
+      }
+      if (!metrics_path.empty()) {
+        write_file(metrics_path, obs::metrics_json(snap) + "\n");
+      }
+      if (!trace_path.empty()) {
+        write_file(trace_path, obs::trace_json() + "\n");
+      }
+      return 0;
     }
 
     core::ConvertOptions options;

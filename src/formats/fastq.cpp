@@ -1,0 +1,35 @@
+#include "formats/fastq.h"
+
+#include "formats/textfmt.h"
+
+namespace ngsx::fastq {
+
+namespace {
+
+// append_fastq ignores the header (FASTQ carries no reference names); one
+// static empty instance serves every writer.
+const sam::SamHeader& empty_header() {
+  static const sam::SamHeader header;
+  return header;
+}
+
+}  // namespace
+
+FastqWriter::FastqWriter(const std::string& path)
+    : out_(std::make_unique<OutputFile>(path)) {}
+
+bool FastqWriter::write(const sam::AlignmentRecord& rec) {
+  line_.clear();
+  if (!textfmt::append_fastq(rec, empty_header(), line_)) {
+    return false;
+  }
+  out_->write(line_);
+  ++records_;
+  return true;
+}
+
+void FastqWriter::close() { out_->close(); }
+
+uint64_t FastqWriter::bytes_written() const { return out_->bytes_written(); }
+
+}  // namespace ngsx::fastq

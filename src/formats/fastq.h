@@ -1,0 +1,45 @@
+// ngsx/formats/fastq.h
+//
+// Streaming FASTQ file writer: the output half of paired-end FASTQ export
+// (docs/COLLATION.md). Wraps the record-level textfmt::append_fastq
+// serializer in an atomically-committed OutputFile, so a failed export
+// never publishes a partial R1/R2 file — the same commit discipline as
+// every other ngsx writer (docs/ROBUSTNESS.md).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "formats/sam.h"
+
+namespace ngsx::fastq {
+
+/// Writes one FASTQ file. Records are serialized with
+/// textfmt::append_fastq: read orientation is restored (reverse-strand
+/// alignments are reverse-complemented back), paired records get the
+/// Picard-style "/1"/"/2" name suffix, and missing qualities become 'B'
+/// placeholders. Records without stored bases ("*") are skipped and
+/// reported via the return value of write().
+class FastqWriter {
+ public:
+  explicit FastqWriter(const std::string& path);
+
+  /// Appends one record; false if the record carries no sequence (nothing
+  /// was written).
+  bool write(const sam::AlignmentRecord& rec);
+
+  /// Commits the file (atomic rename). Mandatory, as for every writer.
+  void close();
+
+  uint64_t records() const { return records_; }
+  uint64_t bytes_written() const;
+
+ private:
+  std::string line_;
+  uint64_t records_ = 0;
+  std::unique_ptr<OutputFile> out_;
+};
+
+}  // namespace ngsx::fastq

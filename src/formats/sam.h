@@ -36,6 +36,7 @@ enum Flag : uint16_t {
   kSecondary = 0x100,
   kQcFail = 0x200,
   kDuplicate = 0x400,
+  kSupplementary = 0x800,
 };
 
 // ---------------------------------------------------------------------------
@@ -162,6 +163,18 @@ struct AlignmentRecord {
   bool is_unmapped() const { return (flag & kUnmapped) != 0; }
   bool is_reverse() const { return (flag & kReverse) != 0; }
   bool is_paired() const { return (flag & kPaired) != 0; }
+  bool is_mate_unmapped() const { return (flag & kMateUnmapped) != 0; }
+  bool is_read1() const { return (flag & kRead1) != 0; }
+  bool is_read2() const { return (flag & kRead2) != 0; }
+  bool is_secondary() const { return (flag & kSecondary) != 0; }
+  bool is_supplementary() const { return (flag & kSupplementary) != 0; }
+  /// Primary alignment line: neither secondary nor supplementary. Only
+  /// primary lines participate in mate pairing (SAM spec §1.4: each read
+  /// of a template has exactly one primary line).
+  bool is_primary() const {
+    return (flag & (kSecondary | kSupplementary)) == 0;
+  }
+  bool is_duplicate() const { return (flag & kDuplicate) != 0; }
 
   /// Number of reference bases consumed by the CIGAR (0 when unmapped or
   /// CIGAR is "*").
@@ -170,6 +183,16 @@ struct AlignmentRecord {
   /// 0-based exclusive end position on the reference (pos + span, with a
   /// minimum span of 1 so unmapped-at-position records still bin sensibly).
   int32_t end_pos() const;
+
+  /// Alignment start extended back through leading soft/hard clips — the
+  /// position the read would start at had the aligner not clipped it. This
+  /// (with unclipped_end) is the coordinate duplicate marking keys on: PCR
+  /// duplicates of one fragment can differ in clipping but share unclipped
+  /// 5' ends. May be negative for reads clipped past the reference start.
+  int32_t unclipped_start() const;
+
+  /// Exclusive alignment end extended through trailing soft/hard clips.
+  int32_t unclipped_end() const;
 
   /// Pointer to the aux field with `tag`, or nullptr.
   const AuxField* find_tag(std::string_view tag) const;

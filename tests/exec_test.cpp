@@ -16,6 +16,7 @@
 #include "exec/deque.h"
 #include "exec/pipeline.h"
 #include "exec/pool.h"
+#include "exec/serial.h"
 #include "stats/nlmeans.h"
 #include "util/rng.h"
 
@@ -475,6 +476,70 @@ TEST(Pipeline, FinishIsIdempotent) {
   pipe.finish();
   EXPECT_EQ(sum, 3);
   EXPECT_THROW(pipe.push(3), UsageError);
+}
+
+// ----------------------------------------------------------- SerialStage
+
+TEST(SerialStage, RunsJobsInSubmissionOrder) {
+  std::vector<int> order;
+  {
+    SerialStage stage(4);
+    for (int i = 0; i < 100; ++i) {
+      stage.submit([&order, i] { order.push_back(i); });
+    }
+    stage.finish();
+  }
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SerialStage, FinishDrainsEverythingAccepted) {
+  // Capacity 1 forces submit() to block and hand jobs over one at a time;
+  // finish() must still run them all.
+  std::atomic<int> ran{0};
+  SerialStage stage(1);
+  for (int i = 0; i < 50; ++i) {
+    stage.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ran.fetch_add(1);
+    });
+  }
+  stage.finish();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(SerialStage, ErrorPoisonsAndRethrows) {
+  SerialStage stage(2);
+  std::atomic<int> ran_after{0};
+  stage.submit([] { throw FormatError("stage boom"); });
+  // Later jobs are discarded; eventually submit() starts rethrowing. Keep
+  // submitting until the failure surfaces (the worker races the producer).
+  bool threw = false;
+  try {
+    for (int i = 0; i < 10000 && !threw; ++i) {
+      stage.submit([&ran_after] { ran_after.fetch_add(1); });
+    }
+  } catch (const FormatError& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("stage boom"), std::string::npos);
+  }
+  if (!threw) {
+    EXPECT_THROW(stage.finish(), FormatError);
+  } else {
+    stage.finish();  // error already consumed by the submit() rethrow
+  }
+}
+
+TEST(SerialStage, FinishIsIdempotentAndSubmitAfterFinishThrows) {
+  SerialStage stage(2);
+  int ran = 0;
+  stage.submit([&ran] { ++ran; });
+  stage.finish();
+  stage.finish();
+  EXPECT_EQ(ran, 1);
+  EXPECT_THROW(stage.submit([] {}), UsageError);
 }
 
 // ------------------------------------------------- nlmeans pool scheduler

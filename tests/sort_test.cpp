@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <map>
+#include <thread>
 
 #include "core/sort.h"
 #include "formats/bai.h"
@@ -141,6 +142,59 @@ TEST(Sort, StableForEqualCoordinates) {
   for (size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].qname, "dup" + std::to_string(i));
   }
+}
+
+TEST(Sort, ConcurrentSortsSharingTempDir) {
+  // Regression: run paths used to be deterministic per target, so two
+  // spilling sorts sharing a temp directory could clobber each other's
+  // runs. Paths now embed pid + a process-wide token.
+  TempDir tmp;
+  namespace fs = std::filesystem;
+  const std::string shared = tmp.file("spill");
+  fs::create_directories(shared);
+  auto records_a = shuffled_records(600, 21);
+  auto records_b = shuffled_records(600, 22);
+  write_bam(tmp.file("a.bam"), records_a);
+  write_bam(tmp.file("b.bam"), records_b);
+  SortOptions options;
+  options.max_records_in_memory = 32;  // both sorts spill many runs
+  options.temp_dir = shared;
+  std::thread ta([&] {
+    sort_to_bam(tmp.file("a.bam"), tmp.file("a_sorted.bam"), options);
+  });
+  std::thread tb([&] {
+    sort_to_bam(tmp.file("b.bam"), tmp.file("b_sorted.bam"), options);
+  });
+  ta.join();
+  tb.join();
+  expect_sorted_same_multiset(records_a, read_bam(tmp.file("a_sorted.bam")));
+  expect_sorted_same_multiset(records_b, read_bam(tmp.file("b_sorted.bam")));
+  EXPECT_TRUE(fs::is_empty(shared));  // every run cleaned up
+}
+
+TEST(Sort, RepeatedSortsSameTargetDoNotCollide) {
+  // Same output path, same temp dir, sequential invocations: the
+  // monotonic run token keeps every invocation's runs distinct even
+  // though target and pid are identical.
+  TempDir tmp;
+  auto records = shuffled_records(300, 23);
+  write_bam(tmp.file("in.bam"), records);
+  SortOptions options;
+  options.max_records_in_memory = 32;
+  options.temp_dir = tmp.path();
+  sort_to_bam(tmp.file("in.bam"), tmp.file("out.bam"), options);
+  std::string first = read_bam(tmp.file("out.bam")).empty() ? "" : "ok";
+  sort_to_bam(tmp.file("in.bam"), tmp.file("out.bam"), options);
+  expect_sorted_same_multiset(records, read_bam(tmp.file("out.bam")));
+  EXPECT_EQ(first, "ok");
+  namespace fs = std::filesystem;
+  int leftovers = 0;
+  for (const auto& entry : fs::directory_iterator(tmp.path())) {
+    if (entry.path().string().find(".tmp.bam") != std::string::npos) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0);
 }
 
 TEST(Sort, SamInputAccepted) {
